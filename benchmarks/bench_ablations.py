@@ -1,0 +1,71 @@
+"""Ablations for the design decisions called out in DESIGN.md (D1-D3).
+
+* D1 — GCO's lexicographic block order vs unsorted program order;
+* D2 — adaptive junction alignment vs naive plans on the same schedule;
+* D3 — Algorithm 3's tree embedding vs synthesize-then-route.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ablation_alignment,
+    ablation_tree_embedding,
+    format_table,
+)
+from repro.core import ft_compile
+from repro.workloads import BENCHMARKS
+
+from conftest import write_result
+
+
+@pytest.mark.parametrize("name", ["UCCSD-8", "N2", "Rand-30"])
+def test_d1_lexicographic_vs_program_order(benchmark, name, scale, results_dir):
+    program = BENCHMARKS[name].build(scale)
+    gco = benchmark.pedantic(
+        ft_compile, args=(program,), kwargs={"scheduler": "gco"}, rounds=1, iterations=1
+    )
+    unsorted_result = ft_compile(program, scheduler="none")
+    table = format_table(
+        ["Config", "CNOT", "Total gates"],
+        [
+            ["GCO (lexicographic)", gco.circuit.cnot_count,
+             gco.circuit.cnot_count + gco.circuit.single_qubit_count],
+            ["program order", unsorted_result.circuit.cnot_count,
+             unsorted_result.circuit.cnot_count + unsorted_result.circuit.single_qubit_count],
+        ],
+    )
+    write_result(results_dir, f"ablation_d1_{name}.txt", table)
+    # Lexicographic ordering must not lose to arbitrary program order.
+    assert gco.circuit.cnot_count <= unsorted_result.circuit.cnot_count * 1.05
+
+
+@pytest.mark.parametrize("name", ["UCCSD-8", "N2"])
+def test_d2_adaptive_alignment(benchmark, name, scale, results_dir):
+    row = benchmark.pedantic(ablation_alignment, args=(name, scale), rounds=1, iterations=1)
+    table = format_table(
+        ["Config", "CNOT", "Total", "Depth"],
+        [
+            ["adaptive plans", row["adaptive"]["cnot"], row["adaptive"]["total"],
+             row["adaptive"]["depth"]],
+            ["naive plans (same schedule)", row["scheduled_naive"]["cnot"],
+             row["scheduled_naive"]["total"], row["scheduled_naive"]["depth"]],
+        ],
+    )
+    write_result(results_dir, f"ablation_d2_{name}.txt", table)
+    assert row["adaptive"]["cnot"] <= row["scheduled_naive"]["cnot"]
+
+
+@pytest.mark.parametrize("name", ["REG-20-4", "Rand-20-0.3", "UCCSD-8"])
+def test_d3_tree_embedding(benchmark, name, scale, results_dir):
+    row = benchmark.pedantic(ablation_tree_embedding, args=(name, scale), rounds=1, iterations=1)
+    table = format_table(
+        ["Config", "CNOT", "Total", "Depth"],
+        [
+            ["tree embedding (Alg. 3)", row["tree_embedding"]["cnot"],
+             row["tree_embedding"]["total"], row["tree_embedding"]["depth"]],
+            ["synthesize then route", row["synthesize_then_route"]["cnot"],
+             row["synthesize_then_route"]["total"], row["synthesize_then_route"]["depth"]],
+        ],
+    )
+    write_result(results_dir, f"ablation_d3_{name}.txt", table)
+    assert row["tree_embedding"]["cnot"] <= row["synthesize_then_route"]["cnot"] * 1.10

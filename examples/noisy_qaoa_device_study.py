@@ -1,0 +1,48 @@
+"""End-to-end QAOA success-probability study on a noisy device (Figure 11).
+
+Reproduces the paper's real-system experiment offline: 1-level QAOA MaxCut
+on the Melbourne coupling map with a calibrated noise model.  Parameters are
+optimized on the ideal simulator, then the same ansatz is compiled with the
+default baseline and with Paulihedral, executed under stochastic Pauli
+noise, and scored by the probability of measuring an optimal cut.
+
+Run:  python examples/noisy_qaoa_device_study.py
+"""
+
+from repro.analysis import format_table, geomean
+from repro.noise import NoiseModel, qaoa_study
+from repro.transpile import melbourne
+from repro.workloads import random_graph, regular_graph
+
+
+def main() -> None:
+    coupling = melbourne()
+    model = NoiseModel.calibrated(coupling, seed=11)
+    graphs = {
+        "REG-n7-d4": regular_graph(7, 4, seed=7),
+        "RD-n7-p0.5": random_graph(7, 0.5, seed=7),
+        "REG-n8-d4": regular_graph(8, 4, seed=8),
+    }
+
+    rows = []
+    for name, graph in graphs.items():
+        results = qaoa_study(graph, coupling, model, resolution=4, trajectories=100)
+        rows.append([
+            name,
+            f"{results['improvement']['esp']:.2f}x",
+            f"{results['improvement']['rsp']:.2f}x",
+            results["ph"]["cnot"], results["baseline"]["cnot"],
+            f"{results['ph']['rsp']:.3f}", f"{results['baseline']['rsp']:.3f}",
+        ])
+
+    print(format_table(
+        ["Graph", "ESP gain", "RSP gain", "PH CNOT", "Base CNOT", "PH RSP", "Base RSP"],
+        rows,
+    ))
+    esp_geo = geomean([float(r[1][:-1]) for r in rows])
+    print(f"\ngeomean ESP improvement: {esp_geo:.2f}x "
+          "(paper reports 2.11x ESP / 1.24x RSP on real hardware)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Quantum phase estimation over a compiled simulation kernel.
+
+The paper defines the simulation kernel as "(controlled-)exp(iHt)" and names
+phase estimation as the natural extension target (Section 7).  This example
+estimates an eigenphase of ``U = exp(iHt)`` for a 2-qubit Hamiltonian using
+3 ancilla qubits, with every controlled power of ``U`` built by
+``controlled_program_circuit`` (Paulihedral's adaptive synthesis with
+controlled central rotations).
+
+Run:  python examples/phase_estimation.py
+"""
+
+import math
+
+import numpy as np
+import scipy.linalg
+
+from repro.circuit import QuantumCircuit, simulate
+from repro.core.controlled import controlled_program_circuit, controlled_rz_gates
+from repro.ir import PauliProgram
+from repro.pauli import PauliString
+
+
+def inverse_qft(circuit: QuantumCircuit, qubits) -> None:
+    """Textbook inverse QFT on the given ancilla qubits."""
+    qubits = list(qubits)
+    for i in reversed(range(len(qubits))):
+        for j in reversed(range(i + 1, len(qubits))):
+            angle = -math.pi / (2 ** (j - i))
+            circuit.extend(controlled_rz_gates(angle, qubits[j], qubits[i]))
+            circuit.rz(angle / 2.0, qubits[j])  # upgrade CRz to controlled-phase
+        circuit.h(qubits[i])
+
+
+def main() -> None:
+    # H = 0.3 ZZ + 0.2 XI; t chosen so the target eigenphase is resolvable.
+    program = PauliProgram.from_hamiltonian(
+        [("ZZ", 0.3), ("XI", 0.2)], parameter=1.0, name="H"
+    )
+    h_matrix = (
+        0.3 * PauliString.from_label("ZZ").to_matrix()
+        + 0.2 * PauliString.from_label("XI").to_matrix()
+    )
+    eigenvalues, eigenvectors = np.linalg.eigh(h_matrix)
+    target_index = 3  # estimate the largest eigenvalue
+    eigenvalue = eigenvalues[target_index]
+    eigenvector = eigenvectors[:, target_index]
+    # U = exp(iH) has eigenphase theta = eigenvalue / (2 pi) mod 1.
+    true_phase = (eigenvalue / (2 * math.pi)) % 1.0
+    print(f"H eigenvalues: {np.round(eigenvalues, 4)}")
+    print(f"target eigenvalue {eigenvalue:.4f} -> phase {true_phase:.4f}")
+
+    n_system, n_ancilla = 2, 3
+    total = n_system + n_ancilla
+    ancillas = [n_system + k for k in range(n_ancilla)]
+
+    circuit = QuantumCircuit(total)
+    for a in ancillas:
+        circuit.h(a)
+    # Controlled powers U^(2^k), each compiled from the Pauli IR program.
+    for k, a in enumerate(ancillas):
+        # The controlled circuit already addresses system wires 0..1 and the
+        # control at its real index, so its gates embed directly.
+        powered = controlled_program_circuit(program, control=a, power=2 ** k)
+        circuit.extend(powered.gates)
+    inverse_qft(circuit, ancillas)
+
+    # Prepare |eigenvector> (x) |+++> by running on the exact initial state.
+    init = np.zeros(2 ** total, dtype=complex)
+    init[: 2 ** n_system] = eigenvector  # ancillas |000>, H gates in circuit
+    state = simulate(circuit, init)
+
+    probabilities = np.abs(state) ** 2
+    ancilla_probs = np.zeros(2 ** n_ancilla)
+    for index, p in enumerate(probabilities):
+        ancilla_probs[index >> n_system] += p
+    best = int(np.argmax(ancilla_probs))
+    estimate = best / 2 ** n_ancilla
+    print(f"ancilla distribution: {np.round(ancilla_probs, 3)}")
+    print(f"estimated phase: {estimate:.4f}  (true {true_phase:.4f})")
+    resolution = 1.0 / 2 ** n_ancilla
+    error = min(abs(estimate - true_phase), 1 - abs(estimate - true_phase))
+    assert error <= resolution, "phase estimate outside QPE resolution"
+    print(f"within QPE resolution ({resolution:.3f}) — controlled kernels verified")
+
+
+if __name__ == "__main__":
+    main()

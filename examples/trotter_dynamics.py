@@ -1,0 +1,72 @@
+"""Trotterized Heisenberg-chain dynamics: accuracy vs compiled cost.
+
+Simulates real-time dynamics of a 4-site Heisenberg chain with first- and
+second-order (Strang) Trotter splittings, showing the accuracy/gate-count
+trade-off and how Paulihedral's junction cancellation keeps the per-step
+cost of repeated kernels sub-linear.
+
+Run:  python examples/trotter_dynamics.py
+"""
+
+import numpy as np
+import scipy.linalg
+
+from repro.analysis import format_table
+from repro.circuit import circuit_unitary, simulate
+from repro.core import ft_compile, symmetric_trotterize, trotter_error_bound, trotterize
+from repro.ir import PauliBlock, PauliProgram
+from repro.workloads import heisenberg_program
+
+
+def scaled(program: PauliProgram, factor: float) -> PauliProgram:
+    return program.with_blocks([
+        PauliBlock(b.strings, parameter=b.parameter * factor, name=b.name)
+        for b in program
+    ])
+
+
+def main() -> None:
+    total_time = 1.0
+    chain = heisenberg_program([4], dt=1.0)  # parameter folded per splitting
+    exact = scipy.linalg.expm(1j * total_time * chain.to_hamiltonian())
+
+    print(f"workload: {chain} over t = {total_time}")
+    print(f"first-order commutator bound at 4 steps: "
+          f"{trotter_error_bound(chain, total_time, 4):.3f}\n")
+
+    rows = []
+    for steps in (2, 4, 8):
+        first = trotterize(scaled(chain, total_time / steps), steps)
+        second = symmetric_trotterize(scaled(chain, total_time / steps), steps)
+        for label, program in ((f"1st order, {steps} steps", first),
+                               (f"2nd order, {steps} steps", second)):
+            compiled = ft_compile(program, scheduler="none")
+            u = circuit_unitary(compiled.circuit)
+            # remove global phase before comparing
+            idx = np.unravel_index(np.argmax(np.abs(exact)), exact.shape)
+            u = u * (exact[idx] / u[idx])
+            error = np.linalg.norm(u - exact, 2)
+            rows.append([label, compiled.circuit.cnot_count,
+                         compiled.circuit.depth(), f"{error:.4f}"])
+
+    print(format_table(["Splitting", "CNOT", "Depth", "||U - exact||"], rows))
+
+    # Step-preserving compilation (scheduler="none") still cancels gates at
+    # step boundaries: the last string of step k aligns with the first
+    # string of step k+1.
+    one = ft_compile(trotterize(chain, 1), scheduler="none").circuit.cnot_count
+    eight = ft_compile(trotterize(chain, 8), scheduler="none").circuit.cnot_count
+    print(f"\nstep-preserving cost: 1 step = {one} CNOTs, 8 steps = {eight} "
+          f"({eight / one:.2f}x <= 8x via boundary cancellation)")
+
+    # The scheduler-is-free caveat: GCO may merge identical terms across
+    # steps (legal for the IR's Hamiltonian semantics, but it collapses the
+    # multi-step approximation back to one coarse step — see
+    # repro.core.trotter docs).
+    merged = ft_compile(trotterize(chain, 8), scheduler="gco").circuit.cnot_count
+    print(f"GCO-scheduled 8 steps: {merged} CNOTs — terms merged across steps; "
+          "use scheduler='none' when step order matters")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Full-stack VQE on the 2-site Fermi-Hubbard model.
+
+Exercises every layer of the repository on a problem with a closed-form
+answer:
+
+1. the Hubbard Hamiltonian is built *exactly* (Jordan-Wigner with signs)
+   from the fermionic-operator substrate;
+2. a UCC-style ansatz becomes a Pauli IR program whose blocks share
+   variational parameters;
+3. every parameter evaluation compiles the bound ansatz with Paulihedral
+   and runs it on the exact statevector simulator;
+4. the energy landscape is minimized with scipy and checked against the
+   analytic ground energy (U - sqrt(U^2 + 16 t^2)) / 2.
+
+Run:  python examples/vqe_hubbard.py
+"""
+
+import numpy as np
+import scipy.optimize
+
+from repro.circuit import simulate
+from repro.core import compile_program
+from repro.workloads.hubbard import (
+    bind_parameters,
+    hubbard_hamiltonian,
+    hubbard_ucc_ansatz,
+    two_site_ground_energy,
+)
+
+
+def main() -> None:
+    t, u = 1.0, 4.0
+    num_sites = 2
+    hamiltonian = hubbard_hamiltonian(num_sites, hopping=t, interaction=u)
+    exact = two_site_ground_energy(t, u)
+    print(f"2-site Hubbard, t={t}, U={u}")
+    print(f"Hamiltonian: {len(hamiltonian.terms)} Pauli terms on {hamiltonian.num_qubits} qubits")
+    print(f"analytic ground energy: {exact:.6f}\n")
+
+    ansatz, num_params = hubbard_ucc_ansatz(num_sites)
+    print(f"ansatz: {ansatz.num_blocks} excitation blocks, {num_params} parameters")
+
+    # Reference state: half filling — occupy site-0 up and site-0 down
+    # (modes 0 and 2 -> basis index 0b0101 = 5).
+    n_qubits = hamiltonian.num_qubits
+    reference = np.zeros(2 ** n_qubits, dtype=complex)
+    reference[0b0101] = 1.0
+
+    evaluations = {"count": 0}
+
+    def energy(parameters: np.ndarray) -> float:
+        bound = bind_parameters(ansatz, list(parameters))
+        compiled = compile_program(bound, backend="ft")
+        state = simulate(compiled.circuit, reference)
+        evaluations["count"] += 1
+        return float(hamiltonian.expectation(state).real)
+
+    initial = np.zeros(num_params)
+    print(f"initial (Hartree-Fock) energy: {energy(initial):.6f}")
+
+    result = scipy.optimize.minimize(
+        energy, initial, method="COBYLA", options={"maxiter": 150, "rhobeg": 0.4}
+    )
+    print(f"\nVQE converged energy: {result.fun:.6f}  "
+          f"({evaluations['count']} circuit evaluations)")
+    print(f"error vs analytic:    {abs(result.fun - exact):.2e}")
+    assert abs(result.fun - exact) < 1e-2, "VQE failed to reach the ground state"
+    print("ground state reached — full stack verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""VQE UCCSD ansatz compilation for the fault-tolerant backend.
+
+The chemistry scenario from the paper's intro: a UCCSD ansatz whose blocks
+(one per excitation, strings sharing a variational parameter) are exactly
+the constraint structure Pauli IR encodes.  Compares Paulihedral's
+block-wise FT flow against the TK (simultaneous diagonalization) baseline
+and naive synthesis, and shows the DO/GCO scheduling trade-off.
+
+Run:  python examples/vqe_uccsd.py
+"""
+
+import time
+
+from repro.analysis import circuit_metrics, format_table
+from repro.baselines import naive_compile, tk_compile
+from repro.core import ft_compile
+from repro.transpile import transpile
+from repro.workloads import uccsd_program
+
+
+def main() -> None:
+    program = uccsd_program(8, include_singles=True)
+    print(f"ansatz: {program}")
+    print(f"blocks: {program.num_blocks} excitations, {program.num_strings} Pauli strings\n")
+
+    rows = []
+    for label, compile_fn in [
+        ("PH gate-count-oriented", lambda: ft_compile(program, scheduler="gco").circuit),
+        ("PH depth-oriented", lambda: ft_compile(program, scheduler="do").circuit),
+        ("TK (simult. diag.) + L3", lambda: transpile(tk_compile(program).circuit)),
+        ("naive + L3", lambda: naive_compile(program)),
+    ]:
+        start = time.perf_counter()
+        circuit = compile_fn()
+        rows.append([label, f"{time.perf_counter() - start:.2f}", circuit_metrics(circuit)])
+
+    print(format_table(
+        ["Compiler", "Time (s)", "CNOT", "Single", "Total", "Depth"],
+        [[label, sec, m["cnot"], m["single"], m["total"], m["depth"]] for label, sec, m in rows],
+    ))
+
+    gco, do = rows[0][2], rows[1][2]
+    print(f"\nGCO vs DO: gate count {gco['total']} vs {do['total']}, "
+          f"depth {gco['depth']} vs {do['depth']}")
+    print("(GCO favours cancellations, DO favours parallelism — paper Section 6.3)")
+
+
+if __name__ == "__main__":
+    main()

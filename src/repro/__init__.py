@@ -1,0 +1,29 @@
+"""Paulihedral reproduction: block-wise compiler optimization for quantum
+simulation kernels (Li et al., ASPLOS 2022).
+
+Public API tour
+---------------
+* :mod:`repro.pauli` — Pauli strings and their algebra.
+* :mod:`repro.ir` — the block-structured Pauli IR (paper Section 3).
+* :mod:`repro.core` — scheduling and backend passes (Sections 4-5) plus the
+  top-level :func:`repro.core.compiler.compile_program` entry point.
+* :mod:`repro.circuit` — gate-level circuits and exact simulation.
+* :mod:`repro.transpile` — generic layout/routing/cancellation substrate.
+* :mod:`repro.baselines` — TK (simultaneous diagonalization), naive, and
+  QAOA-compiler comparators.
+* :mod:`repro.workloads` — benchmark generators (Table 1).
+* :mod:`repro.noise` — error models, ESP and noisy execution (Figure 11).
+"""
+
+from .ir import PauliBlock, PauliProgram, WeightedString
+from .pauli import PauliString
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PauliBlock",
+    "PauliProgram",
+    "PauliString",
+    "WeightedString",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Experiment drivers, metrics, and report formatting."""
+
+from .experiments import (
+    ablation_alignment,
+    ablation_tree_embedding,
+    fig11_study,
+    table1_inventory,
+    table2_compare,
+    table3_compare,
+    table4_passes,
+)
+from .charts import bar_chart, grouped_bar_chart
+from .schedule_art import render_schedule
+from .metrics import circuit_metrics, geomean, percent_change, ratio
+from .tables import format_table
+
+__all__ = [
+    "ablation_alignment",
+    "ablation_tree_embedding",
+    "bar_chart",
+    "circuit_metrics",
+    "grouped_bar_chart",
+    "fig11_study",
+    "format_table",
+    "geomean",
+    "percent_change",
+    "ratio",
+    "render_schedule",
+    "table1_inventory",
+    "table2_compare",
+    "table3_compare",
+    "table4_passes",
+]

@@ -1,0 +1,57 @@
+"""ASCII bar charts for terminal-friendly figure reproduction.
+
+The paper's Figure 11 is a grouped bar chart (ESP / RSP improvement per
+graph); :func:`bar_chart` renders the same data as text so the benchmark
+harness can emit a faithful, diffable artifact without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    baseline: float = 0.0,
+) -> str:
+    """One horizontal bar per entry, scaled to ``width`` characters.
+
+    ``baseline`` draws a reference tick (e.g. 1.0 for improvement ratios).
+    """
+    if not values:
+        raise ValueError("no data to chart")
+    label_width = max(len(k) for k in values)
+    peak = max(max(values.values()), baseline, 1e-12)
+    lines = []
+    for key, value in values.items():
+        filled = int(round(width * max(value, 0.0) / peak))
+        bar = _FULL * filled
+        if baseline > 0.0:
+            tick = int(round(width * baseline / peak))
+            padded = list(bar.ljust(width))
+            if 0 <= tick < width and padded[tick] == " ":
+                padded[tick] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(f"{key.ljust(label_width)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Dict[str, float]]],
+    width: int = 40,
+    baseline: float = 0.0,
+) -> str:
+    """Figure-11 style: one block of bars per series, grouped by name."""
+    blocks: List[str] = []
+    for series_name, values in groups:
+        blocks.append(f"{series_name}:")
+        blocks.append(bar_chart(values, width=width, baseline=baseline))
+    return "\n".join(blocks)

@@ -1,0 +1,28 @@
+"""Naive baseline: program-order chain synthesis, no cross-string planning.
+
+This is the paper's "naive synthesis" reference (Table 4's BC column is
+measured against it) and also the frontend used for the "no frontend"
+configurations: every string is synthesized with the default ascending
+chain plan in program order, then handed to the generic compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit import QuantumCircuit
+from ..core.synthesis import naive_program_circuit
+from ..ir import PauliProgram
+from ..transpile import CouplingMap, transpile
+
+__all__ = ["naive_compile"]
+
+
+def naive_compile(
+    program: PauliProgram,
+    coupling: Optional[CouplingMap] = None,
+    optimization_level: int = 3,
+) -> QuantumCircuit:
+    """Synthesize naively, then run the generic compiler (and router)."""
+    circuit = naive_program_circuit(program)
+    return transpile(circuit, coupling=coupling, optimization_level=optimization_level)

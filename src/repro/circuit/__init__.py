@@ -1,0 +1,29 @@
+"""Gate-level circuit substrate: gates, circuits, exact simulation."""
+
+from .circuit import QuantumCircuit
+from .dag import DAGCircuit, critical_path, dag_depth, gates_commute
+from .gates import Gate, gate_matrix, inverse_gate
+from .qasm import from_qasm, to_qasm
+from .statevector import (
+    apply_gate,
+    circuit_unitary,
+    equivalent_up_to_global_phase,
+    simulate,
+)
+
+__all__ = [
+    "DAGCircuit",
+    "Gate",
+    "QuantumCircuit",
+    "critical_path",
+    "dag_depth",
+    "from_qasm",
+    "gates_commute",
+    "to_qasm",
+    "apply_gate",
+    "circuit_unitary",
+    "equivalent_up_to_global_phase",
+    "gate_matrix",
+    "inverse_gate",
+    "simulate",
+]

@@ -1,0 +1,208 @@
+"""A minimal but complete quantum circuit container.
+
+:class:`QuantumCircuit` is an ordered gate list with builder methods, depth
+and gate-count metrics, composition/inversion, and SWAP decomposition.  It is
+the common target of the Paulihedral passes and every baseline compiler in
+this repository.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .gates import Gate, ROTATION_GATES, SINGLE_QUBIT_GATES, inverse_gate
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = ""):
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(
+                    f"qubit {q} out of range for a {self.num_qubits}-qubit circuit"
+                )
+        self._gates.append(gate)
+        return self
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("h", (qubit,)))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("x", (qubit,)))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("y", (qubit,)))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("z", (qubit,)))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("s", (qubit,)))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("sdg", (qubit,)))
+
+    def yh(self, qubit: int) -> "QuantumCircuit":
+        """Y-basis Hadamard (self-inverse, maps Y <-> Z)."""
+        return self.append(Gate("yh", (qubit,)))
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("rx", (qubit,), (theta,)))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("ry", (qubit,), (theta,)))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(Gate("rz", (qubit,), (theta,)))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(Gate("cx", (control, target)))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append(Gate("cz", (a, b)))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append(Gate("swap", (a, b)))
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append another circuit's gates (same qubit count required)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("qubit-count mismatch in compose")
+        return self.extend(other.gates)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def count_ops(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    @property
+    def cnot_count(self) -> int:
+        """CNOT count with SWAP expanded as 3 CNOTs (hardware convention)."""
+        counts = self.count_ops()
+        return counts.get("cx", 0) + 3 * counts.get("swap", 0) + counts.get("cz", 0)
+
+    @property
+    def single_qubit_count(self) -> int:
+        return sum(1 for g in self._gates if g.name in SINGLE_QUBIT_GATES)
+
+    @property
+    def two_qubit_count(self) -> int:
+        return sum(1 for g in self._gates if g.is_two_qubit)
+
+    @property
+    def size(self) -> int:
+        return len(self._gates)
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one time step."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for gate in self._gates:
+            start = max((level.get(q, 0) for q in gate.qubits), default=0)
+            finish = start + 1
+            for q in gate.qubits:
+                level[q] = finish
+            depth = max(depth, finish)
+        return depth
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only two-qubit gates (single-qubit gates are free)."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for gate in self._gates:
+            if not gate.is_two_qubit:
+                continue
+            start = max(level.get(q, 0) for q in gate.qubits)
+            finish = start + 1
+            for q in gate.qubits:
+                level[q] = finish
+            depth = max(depth, finish)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def inverse(self) -> "QuantumCircuit":
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg" if self.name else "")
+        for gate in reversed(self._gates):
+            inv.append(inverse_gate(gate))
+        return inv
+
+    def decompose_swaps(self) -> "QuantumCircuit":
+        """Rewrite every SWAP as three CNOTs (for hardware-level metrics)."""
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        for gate in self._gates:
+            if gate.name == "swap":
+                a, b = gate.qubits
+                out.cx(a, b).cx(b, a).cx(a, b)
+            else:
+                out.append(gate)
+        return out
+
+    def copy(self) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out._gates = list(self._gates)
+        return out
+
+    def truncate(self, length: int) -> None:
+        """Drop all gates at index ``length`` and beyond (speculation rollback)."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        del self._gates[length:]
+
+    def remap_qubits(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Relabel qubits via ``mapping`` (old index -> new index)."""
+        out = QuantumCircuit(num_qubits or self.num_qubits, name=self.name)
+        for gate in self._gates:
+            qubits = tuple(mapping[q] for q in gate.qubits)
+            out.append(Gate(gate.name, qubits, gate.params))
+        return out
+
+    # ------------------------------------------------------------------
+    # Pretty printing
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"QuantumCircuit{tag}(qubits={self.num_qubits}, gates={len(self._gates)}, "
+            f"depth={self.depth()})"
+        )
+
+    def to_text(self) -> str:
+        """One gate per line, assembly style."""
+        return "\n".join(repr(g) for g in self._gates)

@@ -1,0 +1,204 @@
+"""DAG representation of circuits with commutation analysis.
+
+A :class:`DAGCircuit` captures the true dependency structure of a gate
+list: node ``v`` depends on node ``u`` when they share a qubit and ``u``
+comes first.  On top of the plain wire-order DAG, :meth:`commutation_dag`
+*relaxes* edges between gates that commute (e.g. two CNOTs sharing only
+controls, or diagonal gates on a CNOT control), exposing more reordering
+freedom than the textual gate order suggests.
+
+Uses:
+
+* :func:`dag_depth` — longest path = circuit depth, per gate-weight;
+* :meth:`DAGCircuit.layers` — ASAP layering (parallel gate groups);
+* :func:`critical_path` — the gates that bound execution time;
+* round-trip back to :class:`~repro.circuit.QuantumCircuit` in any
+  topological order (used to canonicalize or to verify schedulers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["DAGCircuit", "dag_depth", "critical_path", "gates_commute"]
+
+_DIAGONAL = frozenset({"z", "s", "sdg", "rz", "cz"})
+_X_AXIS = frozenset({"x", "rx"})
+
+
+def gates_commute(a: Gate, b: Gate) -> bool:
+    """Conservative syntactic commutation check for disjoint or known pairs.
+
+    Returns ``True`` only when commutation is certain:
+
+    * disjoint qubit sets always commute;
+    * two diagonal gates always commute;
+    * two ``cx`` sharing only their controls (or only their targets)
+      commute;
+    * a diagonal 1q gate commutes with a ``cx`` through its control; an
+      X-axis 1q gate commutes through the target.
+    """
+    shared = set(a.qubits) & set(b.qubits)
+    if not shared:
+        return True
+    if a.name in _DIAGONAL and b.name in _DIAGONAL:
+        return True
+    for first, second in ((a, b), (b, a)):
+        if first.name == "cx" and second.num_qubits == 1:
+            qubit = second.qubits[0]
+            if qubit == first.qubits[0] and second.name in _DIAGONAL:
+                return True
+            if qubit == first.qubits[1] and second.name in _X_AXIS:
+                return True
+    if a.name == "cx" and b.name == "cx":
+        if a.qubits[0] == b.qubits[0] and a.qubits[1] != b.qubits[1]:
+            return True
+        if a.qubits[1] == b.qubits[1] and a.qubits[0] != b.qubits[0]:
+            return True
+    return False
+
+
+class DAGCircuit:
+    """Dependency DAG over a circuit's gates.
+
+    Nodes are gate indices into ``self.gates``; ``edges[u]`` lists direct
+    successors.
+    """
+
+    def __init__(self, gates: Sequence[Gate], num_qubits: int,
+                 edges: Dict[int, List[int]]):
+        self.gates = list(gates)
+        self.num_qubits = num_qubits
+        self.edges = edges
+        self._predecessors: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        """Wire-order DAG: consecutive gates on a shared qubit depend."""
+        edges: Dict[int, List[int]] = {i: [] for i in range(len(circuit))}
+        last_on: Dict[int, int] = {}
+        for idx, gate in enumerate(circuit):
+            parents = {last_on[q] for q in gate.qubits if q in last_on}
+            for parent in sorted(parents):
+                edges[parent].append(idx)
+            for q in gate.qubits:
+                last_on[q] = idx
+        return cls(circuit.gates, circuit.num_qubits, edges)
+
+    @classmethod
+    def commutation_dag(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        """DAG with commuting-pair edges relaxed.
+
+        For each gate, every earlier non-commuting gate on a shared wire
+        becomes a dependency (commuting pairs get no edge).  Pairwise
+        commutation does not compose transitively, so the walk must not
+        stop at the first blocker — an older non-commuting gate still needs
+        its edge even when a nearer blocker exists.  Redundant transitive
+        edges are harmless for depth/layer queries.
+        """
+        gates = list(circuit.gates)
+        edges: Dict[int, List[int]] = {i: [] for i in range(len(gates))}
+        history: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+        for idx, gate in enumerate(gates):
+            parents: Set[int] = set()
+            for q in gate.qubits:
+                for earlier in history[q]:
+                    if not gates_commute(gate, gates[earlier]):
+                        parents.add(earlier)
+            for parent in sorted(parents):
+                edges[parent].append(idx)
+            for q in gate.qubits:
+                history[q].append(idx)
+        return cls(gates, circuit.num_qubits, edges)
+
+    # ------------------------------------------------------------------
+    def predecessors(self) -> Dict[int, List[int]]:
+        if self._predecessors is None:
+            preds: Dict[int, List[int]] = {i: [] for i in range(len(self.gates))}
+            for u, vs in self.edges.items():
+                for v in vs:
+                    preds[v].append(u)
+            self._predecessors = preds
+        return self._predecessors
+
+    def topological_order(self) -> List[int]:
+        preds = self.predecessors()
+        in_degree = {i: len(p) for i, p in preds.items()}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in self.edges[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self.gates):
+            raise RuntimeError("cycle in circuit DAG")
+        return order
+
+    def layers(self) -> List[List[int]]:
+        """ASAP layering: each layer's gates have all parents in earlier
+        layers."""
+        preds = self.predecessors()
+        level: Dict[int, int] = {}
+        for node in self.topological_order():
+            level[node] = 1 + max((level[p] for p in preds[node]), default=-1)
+        depth = max(level.values(), default=-1) + 1
+        out: List[List[int]] = [[] for _ in range(depth)]
+        for node, lvl in level.items():
+            out[lvl].append(node)
+        return out
+
+    def to_circuit(self, order: Optional[Sequence[int]] = None) -> QuantumCircuit:
+        """Rebuild a circuit in topological (or a caller-given) order."""
+        order = list(order) if order is not None else self.topological_order()
+        circuit = QuantumCircuit(self.num_qubits)
+        for idx in order:
+            circuit.append(self.gates[idx])
+        return circuit
+
+
+def dag_depth(
+    dag: DAGCircuit,
+    weight: Callable[[Gate], float] = lambda gate: 1.0,
+) -> float:
+    """Longest weighted path through the DAG (critical-path length)."""
+    preds = dag.predecessors()
+    finish: Dict[int, float] = {}
+    for node in dag.topological_order():
+        start = max((finish[p] for p in preds[node]), default=0.0)
+        finish[node] = start + weight(dag.gates[node])
+    return max(finish.values(), default=0.0)
+
+
+def critical_path(
+    dag: DAGCircuit,
+    weight: Callable[[Gate], float] = lambda gate: 1.0,
+) -> List[int]:
+    """One longest weighted path, as gate indices in execution order."""
+    preds = dag.predecessors()
+    finish: Dict[int, float] = {}
+    choice: Dict[int, Optional[int]] = {}
+    for node in dag.topological_order():
+        best_parent = None
+        start = 0.0
+        for p in preds[node]:
+            if finish[p] > start:
+                start = finish[p]
+                best_parent = p
+        finish[node] = start + weight(dag.gates[node])
+        choice[node] = best_parent
+    if not finish:
+        return []
+    node = max(finish, key=lambda n: finish[n])
+    path = [node]
+    while choice[node] is not None:
+        node = choice[node]
+        path.append(node)
+    return list(reversed(path))

@@ -1,0 +1,94 @@
+"""OpenQASM 2.0 export/import for circuits.
+
+Lets compiled circuits leave this toolchain (e.g. for execution on real
+devices through vendor SDKs).  The ``yh`` basis gate has no QASM primitive;
+since ``yh = (Y+Z)/sqrt(2)`` is ``Z`` conjugated by a 45-degree X rotation,
+it is emitted as the exact sequence ``rx(pi/4); z; rx(-pi/4)``
+(``Rx(-pi/4) Z Rx(pi/4)`` as an operator product; verified in tests).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_SIMPLE = {"h", "x", "y", "z", "s", "sdg", "cx", "cz", "swap", "id"}
+_ROTATIONS = {"rx", "ry", "rz"}
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Render a circuit as OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        lines.append(_gate_line(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_line(gate: Gate) -> str:
+    qubits = ",".join(f"q[{q}]" for q in gate.qubits)
+    if gate.name == "yh":
+        q = f"q[{gate.qubits[0]}]"
+        # yh = Rx(-pi/4) Z Rx(pi/4): circuit order rx(pi/4), z, rx(-pi/4).
+        return f"rx(pi/4) {q};\nz {q};\nrx(-pi/4) {q};"
+    if gate.name in _ROTATIONS:
+        return f"{gate.name}({gate.params[0]:.12g}) {qubits};"
+    if gate.name in _SIMPLE:
+        return f"{gate.name} {qubits};"
+    raise ValueError(f"cannot export gate {gate.name!r}")
+
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\[(\d+)\]")
+_GATE_RE = re.compile(
+    r"^\s*(\w+)\s*(?:\(([^)]*)\))?\s+(.*?);\s*$"
+)
+_QUBIT_RE = re.compile(r"\w+\[(\d+)\]")
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse a (subset of) OpenQASM 2.0 back into a circuit.
+
+    Supports the gates this library emits; measurement/barrier lines are
+    ignored.
+    """
+    match = _QREG_RE.search(text)
+    if match is None:
+        raise ValueError("no qreg declaration found")
+    circuit = QuantumCircuit(int(match.group(2)))
+    for line in text.splitlines():
+        line = line.strip()
+        if (
+            not line
+            or line.startswith(("OPENQASM", "include", "qreg", "creg", "//",
+                                "measure", "barrier"))
+        ):
+            continue
+        parsed = _GATE_RE.match(line)
+        if parsed is None:
+            raise ValueError(f"cannot parse QASM line: {line!r}")
+        name, params, operands = parsed.groups()
+        qubits = tuple(int(m) for m in _QUBIT_RE.findall(operands))
+        if name in _ROTATIONS:
+            circuit.append(Gate(name, qubits, (_eval_angle(params),)))
+        elif name in _SIMPLE:
+            circuit.append(Gate(name, qubits))
+        else:
+            raise ValueError(f"unsupported QASM gate {name!r}")
+    return circuit
+
+
+def _eval_angle(expression: str) -> float:
+    """Evaluate a QASM angle: float literals and simple ``pi`` arithmetic."""
+    cleaned = expression.replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE+\-*/. ()]+", cleaned):
+        raise ValueError(f"unsafe angle expression {expression!r}")
+    return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+* ``list`` — show the benchmark registry (Table 1 names);
+* ``compile NAME`` — compile one benchmark with Paulihedral and print the
+  paper metrics, optionally against the baselines;
+* ``table1|table2|table3|table4|fig11`` — regenerate one experiment and
+  print the report table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    circuit_metrics,
+    fig11_study,
+    format_table,
+    table1_inventory,
+    table2_compare,
+    table3_compare,
+    table4_passes,
+)
+from .core import compile_program
+from .transpile import manhattan_65
+from .workloads import BENCHMARKS, benchmark_names, build_benchmark, random_graph, regular_graph
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [name, spec.backend, spec.family]
+        for name, spec in BENCHMARKS.items()
+    ]
+    print(format_table(["Benchmark", "Backend", "Family"], rows))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    spec = BENCHMARKS.get(args.name)
+    if spec is None:
+        print(f"unknown benchmark {args.name!r}; try 'list'", file=sys.stderr)
+        return 2
+    program = spec.build(args.scale)
+    kwargs = {}
+    if spec.backend == "sc":
+        kwargs["coupling"] = manhattan_65()
+    result = compile_program(program, backend=spec.backend, scheduler=args.scheduler, **kwargs)
+    print(f"{args.name} ({spec.backend} backend, scheduler={result.scheduler})")
+    print(format_table(
+        ["CNOT", "Single", "Total", "Depth"],
+        [[result.metrics["cnot"], result.metrics["single"],
+          result.metrics["total"], result.metrics["depth"]]],
+    ))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = table1_inventory(scale=args.scale)
+    print(format_table(
+        ["Benchmark", "Backend", "Qubits", "Pauli#", "CNOT#", "Single#"],
+        [[r["name"], r["backend"], r["qubits"], r["paulis"],
+          r["naive_cnot"], r["naive_single"]] for r in rows],
+    ))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    names = args.names or ["Ising-1D", "Heisen-1D", "UCCSD-8", "REG-20-4"]
+    lines = []
+    for name in names:
+        row = table2_compare(name, args.scale)
+        for config in ("ph+qiskit_l3", "ph+tket_o2", "tk+qiskit_l3", "tk+tket_o2"):
+            m = row[config]
+            lines.append([name, config, m["cnot"], m["single"], m["total"], m["depth"]])
+    print(format_table(["Benchmark", "Config", "CNOT", "Single", "Total", "Depth"], lines))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    names = args.names or ["REG-20-4", "REG-20-8", "Rand-20-0.3"]
+    lines = []
+    for name in names:
+        row = table3_compare(name, scale="paper", seeds=args.seeds)
+        for label in ("ph", "qaoa_compiler"):
+            m = row[label]
+            lines.append([name, label, m["cnot"], m["total"], m["depth"], f"{m['seconds']:.2f}s"])
+    print(format_table(["Benchmark", "Compiler", "CNOT", "Total", "Depth", "Time"], lines))
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    names = args.names or ["UCCSD-8", "Ising-1D", "Heisen-1D", "N2"]
+    lines = []
+    for name in names:
+        row = table4_passes(name, args.scale)
+        for key in ("cnot", "total", "depth"):
+            lines.append([
+                name, key,
+                f"{row['do_vs_gco_pct'][key]:+.1f}%",
+                f"{row['bc_improvement_pct'][key]:+.1f}%",
+            ])
+    print(format_table(["Benchmark", "Metric", "DO vs GCO", "BC vs naive"], lines))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    graphs = {}
+    for n in args.sizes:
+        graphs[f"REG-n{n}-d4"] = regular_graph(n, 4, seed=n)
+        graphs[f"RD-n{n}-p0.5"] = random_graph(n, 0.5, seed=n)
+    rows = fig11_study(graphs, trajectories=args.trajectories)
+    print(format_table(
+        ["Graph", "ESP x", "RSP x", "PH CNOT", "Base CNOT"],
+        [[r["name"], f"{r['esp_improvement']:.2f}", f"{r['rsp_improvement']:.2f}",
+          r["ph"]["cnot"], r["baseline"]["cnot"]] for r in rows],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("compile", help="compile one benchmark with Paulihedral")
+    p.add_argument("name")
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument("--scheduler", default=None, choices=["gco", "do", "none"])
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate Table 2 rows")
+    p.add_argument("names", nargs="*", default=None)
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("table3", help="regenerate Table 3 rows")
+    p.add_argument("names", nargs="*", default=None)
+    p.add_argument("--seeds", type=int, default=20)
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("table4", help="regenerate Table 4 rows")
+    p.add_argument("names", nargs="*", default=None)
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.set_defaults(func=_cmd_table4)
+
+    p = sub.add_parser("fig11", help="regenerate the Figure 11 study")
+    p.add_argument("--sizes", type=int, nargs="*", default=[7, 8])
+    p.add_argument("--trajectories", type=int, default=120)
+    p.set_defaults(func=_cmd_fig11)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

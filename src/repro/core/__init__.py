@@ -1,0 +1,70 @@
+"""Paulihedral core: synthesis, scheduling, and backend optimization passes."""
+
+from .compiler import CompilationResult, compile_program
+from .controlled import (
+    controlled_pauli_evolution_circuit,
+    controlled_pauli_rotation_gates,
+    controlled_program_circuit,
+    controlled_rz_gates,
+)
+from .ft_backend import FTResult, ft_compile, ft_synthesize, most_overlap_sort
+from .passes import PassPipeline, PipelineResult, ft_pipeline, sc_pipeline
+from .sc_backend import EmbeddedTree, SCResult, SCSynthesizer, sc_compile
+from .trotter import (
+    symmetric_trotterize,
+    trotter_error_bound,
+    trotter_steps_for,
+    trotterize,
+)
+from .scheduling import (
+    Schedule,
+    do_schedule,
+    gco_schedule,
+    layer_operator_overlap,
+    schedule_depth_estimate,
+    schedule_to_program,
+)
+from .synthesis import (
+    SynthesisPlan,
+    aligned_chain_plan,
+    chain_plan,
+    naive_program_circuit,
+    pauli_evolution_circuit,
+    pauli_rotation_gates,
+)
+
+__all__ = [
+    "CompilationResult",
+    "EmbeddedTree",
+    "FTResult",
+    "PassPipeline",
+    "PipelineResult",
+    "SCResult",
+    "SCSynthesizer",
+    "Schedule",
+    "SynthesisPlan",
+    "aligned_chain_plan",
+    "chain_plan",
+    "compile_program",
+    "controlled_pauli_evolution_circuit",
+    "controlled_pauli_rotation_gates",
+    "controlled_program_circuit",
+    "controlled_rz_gates",
+    "do_schedule",
+    "ft_compile",
+    "ft_pipeline",
+    "ft_synthesize",
+    "gco_schedule",
+    "layer_operator_overlap",
+    "most_overlap_sort",
+    "naive_program_circuit",
+    "pauli_evolution_circuit",
+    "pauli_rotation_gates",
+    "sc_pipeline",
+    "schedule_depth_estimate",
+    "schedule_to_program",
+    "symmetric_trotterize",
+    "trotter_error_bound",
+    "trotter_steps_for",
+    "trotterize",
+]

@@ -1,0 +1,116 @@
+"""Top-level Paulihedral entry point.
+
+``compile_program`` wires the technology-independent scheduling passes
+(Section 4) to the technology-dependent block-wise optimization passes
+(Section 5), mirroring Figure 1's flow:
+
+.. code-block:: text
+
+    Pauli IR --(scheduling)--> layers --(block-wise opt)--> gate sequence
+
+Backends:
+
+* ``"ft"`` — fault-tolerant: all-to-all connectivity, gate-cancellation
+  maximizing synthesis (Algorithm 2); default scheduler ``gco``.
+* ``"sc"`` — superconducting: coupling-constrained tree-embedded synthesis
+  (Algorithm 3); requires a coupling map; default scheduler ``do``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import QuantumCircuit
+from ..ir import PauliProgram
+from ..pauli import PauliString
+from ..transpile import CouplingMap, Layout
+from .ft_backend import ft_compile
+from .sc_backend import sc_compile
+
+__all__ = ["CompilationResult", "compile_program"]
+
+
+@dataclass
+class CompilationResult:
+    """Everything a caller needs from one Paulihedral compilation."""
+
+    circuit: QuantumCircuit
+    backend: str
+    scheduler: str
+    emitted_terms: List[Tuple[PauliString, float]] = field(default_factory=list)
+    initial_layout: Optional[Layout] = None
+    final_layout: Optional[Layout] = None
+
+    @property
+    def metrics(self) -> Dict[str, int]:
+        """Paper metrics: CNOT / single-qubit / total gate count and depth."""
+        return {
+            "cnot": self.circuit.cnot_count,
+            "single": self.circuit.single_qubit_count,
+            "total": self.circuit.cnot_count + self.circuit.single_qubit_count,
+            "depth": self.circuit.depth(),
+        }
+
+
+def compile_program(
+    program: PauliProgram,
+    backend: str = "ft",
+    scheduler: Optional[str] = None,
+    coupling: Optional[CouplingMap] = None,
+    edge_error: Optional[Dict[Tuple[int, int], float]] = None,
+    run_peephole: bool = True,
+    restarts: int = 1,
+) -> CompilationResult:
+    """Compile a Pauli IR program with Paulihedral.
+
+    Parameters
+    ----------
+    program:
+        The Pauli IR input.
+    backend:
+        ``"ft"`` or ``"sc"``.
+    scheduler:
+        ``"gco"``, ``"do"`` or ``"none"``; defaults to the backend's
+        preferred pass (``gco`` for FT, ``do`` for SC).
+    coupling:
+        Device coupling map; required for the SC backend.
+    edge_error:
+        Optional per-edge error rates guiding SC path selection.
+    run_peephole:
+        Apply the generic peephole cleanup after synthesis (the paper always
+        runs a generic compiler after Paulihedral).
+    restarts:
+        SC backend only: number of jittered initial-placement attempts; the
+        lowest-CNOT result wins (deterministic, first attempt unjittered).
+    """
+    if backend == "ft":
+        result = ft_compile(
+            program, scheduler=scheduler or "gco", run_peephole=run_peephole
+        )
+        return CompilationResult(
+            circuit=result.circuit,
+            backend="ft",
+            scheduler=scheduler or "gco",
+            emitted_terms=result.emitted_terms,
+        )
+    if backend == "sc":
+        if coupling is None:
+            raise ValueError("the SC backend requires a coupling map")
+        result = sc_compile(
+            program,
+            coupling,
+            scheduler=scheduler or "do",
+            edge_error=edge_error,
+            run_peephole=run_peephole,
+            restarts=restarts,
+        )
+        return CompilationResult(
+            circuit=result.circuit,
+            backend="sc",
+            scheduler=scheduler or "do",
+            emitted_terms=result.emitted_terms,
+            initial_layout=result.initial_layout,
+            final_layout=result.final_layout,
+        )
+    raise ValueError(f"unknown backend {backend!r}; expected 'ft' or 'sc'")

@@ -1,0 +1,95 @@
+"""Trotterization: expanding ``exp(iHt)`` into repeated kernel steps.
+
+Paper Figure 3(a): ``exp(iHt) = [prod_j exp(i w_j P_j dt)]^(t/dt) + O(t dt)``.
+A :class:`~repro.ir.PauliProgram` with ``parameter = dt`` describes one step;
+:func:`trotterize` replicates it, and :func:`trotter_error_bound` gives the
+standard first-order commutator bound so callers can pick ``dt``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import PauliBlock, PauliProgram
+
+__all__ = [
+    "trotterize",
+    "symmetric_trotterize",
+    "trotter_steps_for",
+    "trotter_error_bound",
+]
+
+
+def trotterize(step: PauliProgram, num_steps: int, name: str = "") -> PauliProgram:
+    """Repeat one Trotter step ``num_steps`` times.
+
+    The result is a program whose blocks are the step's blocks replicated in
+    order.
+
+    .. warning::
+       The IR's sum semantics (paper Figure 7) describe the *Hamiltonian*,
+       not a particular product-formula ordering, so the schedulers are free
+       to reorder blocks across step boundaries — including merging all
+       ``num_steps`` copies of a term into one rotation, which is exactly a
+       single coarse step.  When the *multi-step accuracy* matters (the whole
+       point of ``num_steps > 1``), compile with ``scheduler="none"`` so the
+       step structure is preserved; junction cancellation between the end of
+       one step and the start of the next still applies.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    blocks: List[PauliBlock] = []
+    for _ in range(num_steps):
+        blocks.extend(step.blocks)
+    return PauliProgram(blocks, name=name or f"{step.name}-x{num_steps}")
+
+
+def symmetric_trotterize(step: PauliProgram, num_steps: int, name: str = "") -> PauliProgram:
+    """Second-order (Strang) splitting: each step is the half-parameter
+    forward sweep followed by the half-parameter reverse sweep.
+
+    The palindromic structure doubles the junction-cancellation
+    opportunities the FT pass exploits — the two middle blocks of every step
+    are identical, and step boundaries meet on matching strings.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    forward = [
+        PauliBlock(block.strings, parameter=block.parameter / 2.0, name=block.name)
+        for block in step.blocks
+    ]
+    backward = list(reversed(forward))
+    blocks: List[PauliBlock] = []
+    for _ in range(num_steps):
+        blocks.extend(forward)
+        blocks.extend(backward)
+    return PauliProgram(blocks, name=name or f"{step.name}-strang-x{num_steps}")
+
+
+def trotter_steps_for(total_time: float, dt: float) -> int:
+    """Number of steps to cover ``total_time`` at resolution ``dt``."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    steps = int(round(total_time / dt))
+    return max(steps, 1)
+
+
+def trotter_error_bound(step: PauliProgram, total_time: float, num_steps: int) -> float:
+    """First-order Trotter error bound ``(t^2 / 2N) * sum_{j<k} |[H_j, H_k]|``.
+
+    Uses the loose triangle-inequality form
+    ``|[H_j, H_k]| <= 2 |w_j| |w_k|`` for non-commuting string pairs, which
+    is cheap and sufficient for step-count selection.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    terms = [
+        (ws.string, ws.weight * parameter)
+        for ws, parameter in step.all_weighted_strings()
+    ]
+    commutator_sum = 0.0
+    for j in range(len(terms)):
+        for k in range(j + 1, len(terms)):
+            if not terms[j][0].commutes_with(terms[k][0]):
+                commutator_sum += 2.0 * abs(terms[j][1]) * abs(terms[k][1])
+    return (total_time ** 2 / (2.0 * num_steps)) * commutator_sum

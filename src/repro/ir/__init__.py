@@ -1,0 +1,17 @@
+"""Pauli IR: block-structured intermediate representation (paper Section 3)."""
+
+from .blocks import PauliBlock, WeightedString
+from .parser import format_program, parse_program
+from .program import PauliProgram
+from .validation import Diagnostic, ValidationReport, validate_program
+
+__all__ = [
+    "PauliBlock",
+    "PauliProgram",
+    "WeightedString",
+    "Diagnostic",
+    "ValidationReport",
+    "format_program",
+    "parse_program",
+    "validate_program",
+]

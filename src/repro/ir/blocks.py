@@ -1,0 +1,214 @@
+"""Pauli IR blocks: weighted Pauli strings sharing one parameter.
+
+A :class:`PauliBlock` is the ``pauli_block`` production of the IR grammar in
+Figure 5 of the paper:
+
+.. code-block:: text
+
+    <pauli_block> ::= { <pauli_str_list>, parameter }
+
+All strings in a block share one real parameter (e.g. a Trotter step or a
+variational angle) and the block is the unit the schedulers move around:
+strings inside a block are *always kept together* (Section 3.2, "Encoding
+constraints").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..pauli import PauliString
+
+__all__ = ["WeightedString", "PauliBlock"]
+
+
+class WeightedString:
+    """A ``(pauli_str, weight)`` pair — one entry of a ``pauli_str_list``."""
+
+    __slots__ = ("string", "weight")
+
+    def __init__(self, string: PauliString, weight: float = 1.0):
+        if not isinstance(string, PauliString):
+            raise TypeError(f"expected PauliString, got {type(string).__name__}")
+        self.string = string
+        self.weight = float(weight)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.string.num_qubits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedString):
+            return NotImplemented
+        return self.string == other.string and self.weight == other.weight
+
+    def __hash__(self) -> int:
+        return hash((self.string, self.weight))
+
+    def __repr__(self) -> str:
+        return f"WeightedString({self.string.label!r}, {self.weight!r})"
+
+
+class PauliBlock:
+    """A list of weighted Pauli strings sharing a single real parameter.
+
+    Parameters
+    ----------
+    strings:
+        The weighted strings.  Entries may be :class:`WeightedString`,
+        bare :class:`~repro.pauli.PauliString` (weight 1.0), or
+        ``(PauliString | label, weight)`` tuples.
+    parameter:
+        The shared real parameter (``theta``/``gamma``/``dt`` in the paper).
+    name:
+        Optional human-readable tag used in reports.
+    """
+
+    __slots__ = ("_strings", "parameter", "name")
+
+    def __init__(
+        self,
+        strings: Iterable,
+        parameter: float = 1.0,
+        name: str = "",
+    ):
+        normalized: List[WeightedString] = []
+        for entry in strings:
+            normalized.append(self._normalize(entry))
+        if not normalized:
+            raise ValueError("a Pauli block must contain at least one string")
+        n = normalized[0].num_qubits
+        for ws in normalized:
+            if ws.num_qubits != n:
+                raise ValueError(
+                    "all strings in a block must act on the same qubit count: "
+                    f"{ws.num_qubits} vs {n}"
+                )
+        self._strings = normalized
+        self.parameter = float(parameter)
+        self.name = name
+
+    @staticmethod
+    def _normalize(entry) -> WeightedString:
+        if isinstance(entry, WeightedString):
+            return entry
+        if isinstance(entry, PauliString):
+            return WeightedString(entry, 1.0)
+        if isinstance(entry, str):
+            return WeightedString(PauliString.from_label(entry), 1.0)
+        string, weight = entry
+        if isinstance(string, str):
+            string = PauliString.from_label(string)
+        return WeightedString(string, weight)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def strings(self) -> Tuple[WeightedString, ...]:
+        return tuple(self._strings)
+
+    @property
+    def pauli_strings(self) -> Tuple[PauliString, ...]:
+        """The bare strings, without weights."""
+        return tuple(ws.string for ws in self._strings)
+
+    @property
+    def num_qubits(self) -> int:
+        return self._strings[0].num_qubits
+
+    @property
+    def num_strings(self) -> int:
+        return len(self._strings)
+
+    @property
+    def active_qubits(self) -> Tuple[int, ...]:
+        """Qubits with a non-identity operator in at least one string."""
+        active = set()
+        for ws in self._strings:
+            active.update(ws.string.support)
+        return tuple(sorted(active))
+
+    @property
+    def active_length(self) -> int:
+        """Paper's over-approximation of block footprint (Section 4.2)."""
+        return len(self.active_qubits)
+
+    @property
+    def core_qubits(self) -> Tuple[int, ...]:
+        """Qubits with a non-identity operator in *all* strings (Section 5.2)."""
+        core = set(self._strings[0].string.support)
+        for ws in self._strings[1:]:
+            core &= set(ws.string.support)
+        return tuple(sorted(core))
+
+    def depth_estimate(self) -> int:
+        """Cheap per-block depth estimate used by the DO scheduler padding
+        loop: the dominant cost of a string of weight ``w`` is its two CNOT
+        trees, ``2 * (w - 1)`` CNOT levels, plus the central rotation."""
+        total = 0
+        for ws in self._strings:
+            w = ws.string.weight
+            if w > 0:
+                total += 2 * (w - 1) + 1
+        return total
+
+    def is_mutually_commuting(self) -> bool:
+        """True if every pair of strings in the block commutes."""
+        strings = self.pauli_strings
+        return all(
+            strings[i].commutes_with(strings[j])
+            for i in range(len(strings))
+            for j in range(i + 1, len(strings))
+        )
+
+    def overlaps_qubits(self, other: "PauliBlock") -> bool:
+        """True when the two blocks' active-qubit sets intersect."""
+        return bool(set(self.active_qubits) & set(other.active_qubits))
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new blocks; blocks are conceptually
+    # immutable once inside a program)
+    # ------------------------------------------------------------------
+    def sorted_lexicographically(self) -> "PauliBlock":
+        """Sort strings inside the block by the paper's lexicographic key."""
+        ordered = sorted(self._strings, key=lambda ws: ws.string.lex_key())
+        return PauliBlock(ordered, self.parameter, self.name)
+
+    def with_strings(self, strings: Sequence[WeightedString]) -> "PauliBlock":
+        return PauliBlock(strings, self.parameter, self.name)
+
+    def lex_key(self) -> Tuple[int, ...]:
+        """Block-level lexicographic key: the key of its first string after
+        intra-block sorting (Section 4.1 uses the first string as the block
+        representative)."""
+        return min(ws.string.lex_key() for ws in self._strings)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __iter__(self) -> Iterator[WeightedString]:
+        return iter(self._strings)
+
+    def __getitem__(self, index: int) -> WeightedString:
+        return self._strings[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliBlock):
+            return NotImplemented
+        return (
+            self._strings == other._strings
+            and self.parameter == other.parameter
+        )
+
+    def __repr__(self) -> str:
+        labels = ", ".join(
+            f"({ws.string.label}, {ws.weight})" for ws in self._strings[:4]
+        )
+        if len(self._strings) > 4:
+            labels += ", ..."
+        tag = f" {self.name!r}" if self.name else ""
+        return f"PauliBlock{tag}[{labels}; parameter={self.parameter}]"

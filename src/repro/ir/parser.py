@@ -1,0 +1,76 @@
+"""Textual round-trip for Pauli IR programs.
+
+The concrete syntax mirrors Figure 5/6 of the paper:
+
+.. code-block:: text
+
+    {(IIXY, 0.5), (IIYX, -0.5), theta1};
+    {(XYII, -0.5), (YXII, 0.5), theta2};
+
+* one ``{...}`` group per block, terminated by ``;``;
+* each ``(LABEL, weight)`` pair is a weighted string;
+* the trailing bare token is the block parameter — either a float literal or
+  a symbolic name (symbolic parameters resolve through the ``parameters``
+  mapping, defaulting to 1.0).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..pauli import PauliString
+from .blocks import PauliBlock, WeightedString
+from .program import PauliProgram
+
+__all__ = ["parse_program", "format_program"]
+
+_BLOCK_RE = re.compile(r"\{([^{}]*)\}")
+_PAIR_RE = re.compile(r"\(\s*([IXYZ]+)\s*,\s*([-+0-9.eE]+)\s*\)")
+
+
+def parse_program(
+    text: str,
+    parameters: Optional[Dict[str, float]] = None,
+    name: str = "",
+) -> PauliProgram:
+    """Parse the textual Pauli IR form into a :class:`PauliProgram`."""
+    parameters = parameters or {}
+    blocks: List[PauliBlock] = []
+    for match in _BLOCK_RE.finditer(text):
+        body = match.group(1)
+        pairs = _PAIR_RE.findall(body)
+        if not pairs:
+            raise ValueError(f"block without Pauli strings: {body!r}")
+        strings = [
+            WeightedString(PauliString.from_label(label), float(weight))
+            for label, weight in pairs
+        ]
+        remainder = _PAIR_RE.sub("", body)
+        tokens = [tok for tok in re.split(r"[\s,]+", remainder) if tok]
+        if not tokens:
+            raise ValueError(f"block without a parameter: {body!r}")
+        token = tokens[-1]
+        try:
+            parameter = float(token)
+        except ValueError:
+            parameter = parameters.get(token, 1.0)
+        blocks.append(PauliBlock(strings, parameter=parameter))
+    if not blocks:
+        raise ValueError("no blocks found in program text")
+    return PauliProgram(blocks, name=name)
+
+
+def format_program(program: PauliProgram) -> str:
+    """Render a program back into the textual IR form."""
+    lines = []
+    for block in program:
+        pairs = ", ".join(
+            f"({ws.string.label}, {_fmt(ws.weight)})" for ws in block
+        )
+        lines.append(f"{{{pairs}, {_fmt(block.parameter)}}};")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"

@@ -1,0 +1,109 @@
+"""Static validation and diagnostics for Pauli IR programs.
+
+The IR's safety story (paper Section 3.2) rests on a few structural
+properties that workload generators and hand-written programs should
+uphold.  :func:`validate_program` checks them and returns a diagnostic
+report instead of failing fast, so callers can decide severity:
+
+* **errors** — violations of IR well-formedness (zero weights that silently
+  drop terms, all-identity blocks that compile to nothing);
+* **warnings** — legal-but-suspicious structure (non-commuting strings
+  inside one block, which is allowed by the grammar but breaks the
+  "strings in one block are usually mutually commutative" assumption the
+  GCO representative-string heuristic relies on; duplicate strings within a
+  block that could be merged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .program import PauliProgram
+
+__all__ = ["Diagnostic", "ValidationReport", "validate_program"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: severity, block index (or -1), message."""
+
+    severity: str          # "error" | "warning"
+    block_index: int
+    message: str
+
+    def __str__(self) -> str:
+        where = f"block {self.block_index}" if self.block_index >= 0 else "program"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            details = "; ".join(str(d) for d in self.errors)
+            raise ValueError(f"invalid Pauli IR program: {details}")
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "program OK"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+
+def validate_program(program: PauliProgram) -> ValidationReport:
+    """Run all structural checks over a program."""
+    report = ValidationReport()
+    for index, block in enumerate(program):
+        strings = [ws.string for ws in block]
+
+        if all(s.is_identity for s in strings):
+            report.diagnostics.append(Diagnostic(
+                "error", index,
+                "block contains only identity strings and compiles to nothing",
+            ))
+
+        zero_weights = sum(1 for ws in block if ws.weight == 0.0)
+        if zero_weights:
+            report.diagnostics.append(Diagnostic(
+                "error", index,
+                f"{zero_weights} string(s) have zero weight and silently vanish",
+            ))
+
+        seen = {}
+        for ws in block:
+            seen[ws.string] = seen.get(ws.string, 0) + 1
+        duplicates = {s: c for s, c in seen.items() if c > 1}
+        if duplicates:
+            labels = ", ".join(s.label for s in duplicates)
+            report.diagnostics.append(Diagnostic(
+                "warning", index,
+                f"duplicate strings within the block could be merged: {labels}",
+            ))
+
+        if len(strings) > 1 and not block.is_mutually_commuting():
+            report.diagnostics.append(Diagnostic(
+                "warning", index,
+                "strings in this block do not mutually commute; the GCO "
+                "representative-string heuristic may mis-order it",
+            ))
+
+        if block.parameter == 0.0:
+            report.diagnostics.append(Diagnostic(
+                "warning", index,
+                "block parameter is zero; the block is a no-op",
+            ))
+    return report

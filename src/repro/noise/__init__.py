@@ -1,0 +1,28 @@
+"""Noise models, ESP estimation, and noisy execution (Figure 11 substrate)."""
+
+from .model import NoiseModel, esp
+from .qaoa_study import (
+    QAOARun,
+    build_full_circuit,
+    compile_qaoa_cost,
+    evaluate_qaoa,
+    optimize_parameters,
+    qaoa_logical_circuit,
+    qaoa_study,
+)
+from .sampler import ideal_probabilities, noisy_probabilities, success_probability
+
+__all__ = [
+    "NoiseModel",
+    "QAOARun",
+    "build_full_circuit",
+    "compile_qaoa_cost",
+    "esp",
+    "evaluate_qaoa",
+    "ideal_probabilities",
+    "noisy_probabilities",
+    "optimize_parameters",
+    "qaoa_logical_circuit",
+    "qaoa_study",
+    "success_probability",
+]

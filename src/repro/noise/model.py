@@ -1,0 +1,115 @@
+"""Device noise models and Estimated Success Probability (ESP).
+
+The paper's Figure 11 uses two success metrics:
+
+* **ESP** — the standard compiler-guidance estimate (Murali et al. ASPLOS
+  2019; Nishio et al. 2020): the product of per-gate success rates and
+  per-qubit readout success rates,
+  ``ESP = prod_g (1 - e_g) * prod_q (1 - r_q)``;
+* **RSP** — real-system success probability, which we obtain from the
+  stochastic-Pauli noisy simulator (:mod:`repro.noise.sampler`) since no
+  hardware is available offline.
+
+Calibration data is modelled on the public ibmq_16_melbourne numbers:
+CNOT error a few percent, single-qubit error ~0.1%, readout error a few
+percent, with seeded per-qubit/per-edge spread.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..circuit import QuantumCircuit
+from ..transpile import CouplingMap
+
+__all__ = ["NoiseModel", "esp"]
+
+
+class NoiseModel:
+    """Per-gate and per-qubit error rates for a device."""
+
+    def __init__(
+        self,
+        single_qubit_error: Dict[int, float],
+        two_qubit_error: Dict[Tuple[int, int], float],
+        readout_error: Dict[int, float],
+    ):
+        self.single_qubit_error = dict(single_qubit_error)
+        self.two_qubit_error = {
+            tuple(sorted(edge)): rate for edge, rate in two_qubit_error.items()
+        }
+        self.readout_error = dict(readout_error)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        coupling: CouplingMap,
+        single_qubit: float = 1e-3,
+        two_qubit: float = 2e-2,
+        readout: float = 3e-2,
+    ) -> "NoiseModel":
+        return cls(
+            {q: single_qubit for q in range(coupling.num_qubits)},
+            {edge: two_qubit for edge in coupling.edges},
+            {q: readout for q in range(coupling.num_qubits)},
+        )
+
+    @classmethod
+    def calibrated(
+        cls,
+        coupling: CouplingMap,
+        seed: int = 11,
+        single_qubit_mean: float = 1.2e-3,
+        two_qubit_mean: float = 2.5e-2,
+        readout_mean: float = 4.0e-2,
+        spread: float = 0.5,
+    ) -> "NoiseModel":
+        """Melbourne-style calibration: rates jittered around device means.
+
+        ``spread`` is the relative half-width of the uniform jitter.
+        """
+        rng = random.Random(seed)
+
+        def jitter(mean: float) -> float:
+            return mean * (1.0 + spread * (2.0 * rng.random() - 1.0))
+
+        return cls(
+            {q: jitter(single_qubit_mean) for q in range(coupling.num_qubits)},
+            {edge: jitter(two_qubit_mean) for edge in coupling.edges},
+            {q: jitter(readout_mean) for q in range(coupling.num_qubits)},
+        )
+
+    # ------------------------------------------------------------------
+    def gate_error(self, name: str, qubits: Tuple[int, ...]) -> float:
+        """Error rate of one gate application (SWAP counts as 3 CNOTs)."""
+        if len(qubits) == 1:
+            return self.single_qubit_error.get(qubits[0], 0.0)
+        edge = tuple(sorted(qubits))
+        rate = self.two_qubit_error.get(edge)
+        if rate is None:
+            raise ValueError(f"no calibration for edge {edge}")
+        if name == "swap":
+            # SWAP = 3 CNOTs: success = (1 - e)^3.
+            return 1.0 - (1.0 - rate) ** 3
+        return rate
+
+    def edge_error_map(self) -> Dict[Tuple[int, int], float]:
+        """For the SC pass's lowest-error path selection."""
+        return dict(self.two_qubit_error)
+
+
+def esp(
+    circuit: QuantumCircuit,
+    model: NoiseModel,
+    measured_qubits: Optional[Iterable[int]] = None,
+) -> float:
+    """Estimated Success Probability of a compiled circuit."""
+    prob = 1.0
+    for gate in circuit:
+        prob *= 1.0 - model.gate_error(gate.name, gate.qubits)
+    if measured_qubits is not None:
+        for q in measured_qubits:
+            prob *= 1.0 - model.readout_error.get(q, 0.0)
+    return prob

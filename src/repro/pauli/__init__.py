@@ -1,0 +1,15 @@
+"""Pauli operator algebra: single-qubit codes and multi-qubit strings."""
+
+from .operators import CODE_TO_LABEL, I, LABEL_TO_CODE, LEX_RANK, X, Y, Z
+from .strings import PauliString
+
+__all__ = [
+    "CODE_TO_LABEL",
+    "LABEL_TO_CODE",
+    "LEX_RANK",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "PauliString",
+]

@@ -1,0 +1,51 @@
+"""Generic transpilation substrate: coupling maps, layout, routing, peephole."""
+
+from .coupling import (
+    CouplingMap,
+    falcon_27,
+    full,
+    ion_trap,
+    sycamore_like,
+    grid,
+    heavy_hex,
+    linear,
+    manhattan_65,
+    melbourne,
+    ring,
+)
+from .layout import Layout, dense_initial_layout, trivial_layout
+from .peephole import (
+    fuse_swap_cx,
+    cancel_adjacent_pairs,
+    commutative_cancel,
+    merge_rotations,
+    optimize,
+)
+from .pipeline import transpile
+from .routing import RoutingResult, route, validate_routed
+
+__all__ = [
+    "CouplingMap",
+    "Layout",
+    "RoutingResult",
+    "cancel_adjacent_pairs",
+    "commutative_cancel",
+    "dense_initial_layout",
+    "falcon_27",
+    "full",
+    "ion_trap",
+    "sycamore_like",
+    "grid",
+    "heavy_hex",
+    "linear",
+    "manhattan_65",
+    "melbourne",
+    "fuse_swap_cx",
+    "merge_rotations",
+    "optimize",
+    "ring",
+    "route",
+    "transpile",
+    "trivial_layout",
+    "validate_routed",
+]

@@ -1,0 +1,246 @@
+"""Device coupling maps.
+
+A :class:`CouplingMap` is an undirected connectivity graph over physical
+qubits with cached all-pairs shortest-path distances, plus optional per-edge
+error rates used by the noise-aware passes (Section 5.2 uses the calibration
+data to pick low-error paths).
+
+Device generators:
+
+* :func:`linear` / :func:`ring` / :func:`grid` / :func:`full` — standard
+  academic topologies;
+* :func:`heavy_hex` — parametric IBM-style heavy-hexagon lattice;
+* :func:`manhattan_65` — a 65-qubit heavy-hex instance standing in for
+  IBM Manhattan (the paper's SC target);
+* :func:`melbourne` — the 15-qubit ladder of ibmq_16_melbourne (the paper's
+  real-system device; the device exposes 15 usable qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "CouplingMap",
+    "linear",
+    "ring",
+    "grid",
+    "full",
+    "heavy_hex",
+    "manhattan_65",
+    "melbourne",
+    "falcon_27",
+    "sycamore_like",
+    "ion_trap",
+]
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph with distance queries."""
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[int, int]],
+        num_qubits: Optional[int] = None,
+        name: str = "",
+    ):
+        edge_list = [(int(a), int(b)) for a, b in edges]
+        if not edge_list and not num_qubits:
+            raise ValueError("a coupling map needs edges or an explicit qubit count")
+        inferred = max((max(a, b) for a, b in edge_list), default=-1) + 1
+        self.num_qubits = int(num_qubits) if num_qubits else inferred
+        if inferred > self.num_qubits:
+            raise ValueError("edge endpoints exceed num_qubits")
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        self.graph.add_edges_from(edge_list)
+        self.name = name
+        self._dist: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(tuple(sorted(e)) for e in self.graph.edges())
+
+    def is_connected(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        return tuple(self.graph.neighbors(qubit))
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree(qubit)
+
+    def _distance_matrix(self) -> List[List[int]]:
+        if self._dist is None:
+            n = self.num_qubits
+            dist = [[n * 2] * n for _ in range(n)]
+            for src, lengths in nx.all_pairs_shortest_path_length(self.graph):
+                row = dist[src]
+                for dst, d in lengths.items():
+                    row[dst] = d
+            self._dist = dist
+        return self._dist
+
+    def distance(self, a: int, b: int) -> int:
+        return self._distance_matrix()[a][b]
+
+    def shortest_path(self, a: int, b: int, weight=None) -> List[int]:
+        """Shortest path between two physical qubits.
+
+        ``weight`` may be a callable ``(u, v) -> float`` (e.g. an error-rate
+        cost) or ``None`` for hop count.
+        """
+        if weight is None:
+            return nx.shortest_path(self.graph, a, b)
+        return nx.shortest_path(
+            self.graph, a, b, weight=lambda u, v, _attrs: weight(u, v)
+        )
+
+    def subgraph_is_connected(self, qubits: Sequence[int]) -> bool:
+        sub = self.graph.subgraph(qubits)
+        return len(qubits) > 0 and nx.is_connected(sub)
+
+    def connected_component_within(self, qubit: int, allowed: Sequence[int]) -> Tuple[int, ...]:
+        """Connected component of ``qubit`` in the subgraph induced by
+        ``allowed`` (used for root selection, Algorithm 3 line 5)."""
+        allowed_set = set(allowed)
+        if qubit not in allowed_set:
+            return (qubit,)
+        sub = self.graph.subgraph(allowed_set)
+        return tuple(sorted(nx.node_connected_component(sub, qubit)))
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"CouplingMap{tag}(qubits={self.num_qubits}, "
+            f"edges={self.graph.number_of_edges()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def linear(num_qubits: int) -> CouplingMap:
+    """A 1-D chain."""
+    return CouplingMap(
+        [(i, i + 1) for i in range(num_qubits - 1)],
+        num_qubits=num_qubits,
+        name=f"linear-{num_qubits}",
+    )
+
+
+def ring(num_qubits: int) -> CouplingMap:
+    """A 1-D ring."""
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(edges, num_qubits=num_qubits, name=f"ring-{num_qubits}")
+
+
+def grid(rows: int, cols: int) -> CouplingMap:
+    """A 2-D grid, row-major numbering."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(edges, num_qubits=rows * cols, name=f"grid-{rows}x{cols}")
+
+
+def full(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity (the FT backend's effective topology)."""
+    edges = [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+    return CouplingMap(edges, num_qubits=num_qubits, name=f"full-{num_qubits}")
+
+
+def heavy_hex(rows: int, row_len: int, trim: int = 0) -> CouplingMap:
+    """Parametric heavy-hexagon lattice in the IBM style.
+
+    ``rows`` horizontal chains of ``row_len`` qubits each, with bridge qubits
+    between consecutive rows at every fourth column (offset alternating by
+    two per row pair).  ``trim`` removes that many highest-numbered qubits.
+    """
+    edges: List[Tuple[int, int]] = []
+    row_start = [r * row_len for r in range(rows)]
+    next_id = rows * row_len
+    for r in range(rows):
+        base = row_start[r]
+        for c in range(row_len - 1):
+            edges.append((base + c, base + c + 1))
+    for r in range(rows - 1):
+        offset = 0 if r % 2 == 0 else 2
+        for c in range(offset, row_len, 4):
+            bridge = next_id
+            next_id += 1
+            edges.append((row_start[r] + c, bridge))
+            edges.append((bridge, row_start[r + 1] + c))
+    num = next_id - trim
+    kept = [(a, b) for a, b in edges if a < num and b < num]
+    return CouplingMap(kept, num_qubits=num, name=f"heavy-hex-{rows}x{row_len}")
+
+
+def manhattan_65() -> CouplingMap:
+    """A 65-qubit heavy-hex device standing in for IBM Manhattan.
+
+    The exact IBM edge list is not reproduced; what matters for the paper's
+    SC experiments is the sparse heavy-hex connectivity class (degree <= 3),
+    which this instance matches.
+    """
+    cmap = heavy_hex(rows=5, row_len=11, trim=2)
+    assert cmap.num_qubits == 65, cmap.num_qubits
+    cmap.name = "manhattan-65"
+    return cmap
+
+
+def falcon_27() -> CouplingMap:
+    """A 27-qubit heavy-hex device in the IBM Falcon class."""
+    cmap = heavy_hex(rows=3, row_len=8, trim=1)
+    assert cmap.num_qubits == 27, cmap.num_qubits
+    cmap.name = "falcon-27"
+    return cmap
+
+
+def sycamore_like(rows: int = 5, cols: int = 6) -> CouplingMap:
+    """A Sycamore-style diagonal grid: each node couples to up to four
+    diagonal neighbours of the next row."""
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows - 1):
+        for c in range(cols):
+            q = r * cols + c
+            below = (r + 1) * cols + c
+            edges.append((q, below))
+            if c + 1 < cols and r % 2 == 0:
+                edges.append((q, below + 1))
+            elif c > 0 and r % 2 == 1:
+                edges.append((q, below - 1))
+    return CouplingMap(edges, num_qubits=rows * cols, name=f"sycamore-{rows}x{cols}")
+
+
+def ion_trap(num_qubits: int) -> CouplingMap:
+    """Trapped-ion chain with all-to-all connectivity (paper Section 7
+    names ion traps as an extension target; routing becomes trivial but
+    gate counts still matter)."""
+    cmap = full(num_qubits)
+    cmap.name = f"ion-trap-{num_qubits}"
+    return cmap
+
+
+def melbourne() -> CouplingMap:
+    """The ibmq_16_melbourne ladder (15 usable qubits).
+
+    Row A: 0-1-2-3-4-5-6; row B: 14-13-12-11-10-9-8, with 7 hanging off 8
+    and rungs between the rows.
+    """
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6),
+        (14, 13), (13, 12), (12, 11), (11, 10), (10, 9), (9, 8), (8, 7),
+        (0, 14), (1, 13), (2, 12), (3, 11), (4, 10), (5, 9), (6, 8),
+    ]
+    return CouplingMap(edges, num_qubits=15, name="melbourne-15")

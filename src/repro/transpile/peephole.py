@@ -1,0 +1,285 @@
+"""Peephole gate-cancellation passes.
+
+These are the generic "level 3"-style cleanups that the paper applies after
+every frontend (Qiskit's ``Optimize1qGates`` + ``CommutativeCancellation``
+equivalents):
+
+* :func:`cancel_adjacent_pairs` — remove a gate and its immediate inverse
+  when they are adjacent on *all* their wires;
+* :func:`merge_rotations` — fuse runs of equal-axis rotations on one wire and
+  drop angle-zero rotations (mod 2*pi, global phase ignored);
+* :func:`commutative_cancel` — cancel CNOT pairs separated only by gates
+  that commute through the control (diagonal) or target (X-axis) wire;
+* :func:`optimize` — run everything to a fixed point.
+
+The implementation works on a mutable gate list with per-wire successor
+scans; each sweep is O(gates * wires) and the fixpoint loop terminates
+because every rewrite strictly reduces the gate count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import Gate, QuantumCircuit
+from ..circuit.gates import ROTATION_GATES, inverse_gate
+
+__all__ = [
+    "cancel_adjacent_pairs",
+    "merge_rotations",
+    "commutative_cancel",
+    "fuse_swap_cx",
+    "optimize",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+#: Single-qubit gates diagonal in Z: they commute through a CNOT *control*.
+_DIAGONAL_1Q = frozenset({"z", "s", "sdg", "rz"})
+#: Single-qubit gates diagonal in X: they commute through a CNOT *target*.
+_X_AXIS_1Q = frozenset({"x", "rx"})
+
+_MERGE_AXIS = {"rz": "z", "rx": "x", "ry": "y", "z": "z", "x": "x", "y": "y",
+               "s": "z", "sdg": "z", "h": "h", "yh": "yh"}
+
+_FIXED_ANGLE = {"z": math.pi, "x": math.pi, "y": math.pi,
+                "s": math.pi / 2.0, "sdg": -math.pi / 2.0}
+
+
+def _wire_sequences(gates: List[Optional[Gate]]) -> Dict[int, List[int]]:
+    wires: Dict[int, List[int]] = {}
+    for idx, gate in enumerate(gates):
+        if gate is None:
+            continue
+        for q in gate.qubits:
+            wires.setdefault(q, []).append(idx)
+    return wires
+
+
+def _rebuild(circuit: QuantumCircuit, gates: List[Optional[Gate]]) -> QuantumCircuit:
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    out.extend(g for g in gates if g is not None)
+    return out
+
+
+def cancel_adjacent_pairs(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
+    """Cancel gate/inverse pairs adjacent on every shared wire.
+
+    Returns ``(new_circuit, removed_gate_count)``.
+    """
+    gates: List[Optional[Gate]] = list(circuit.gates)
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        wires = _wire_sequences(gates)
+        position = {
+            (idx, q): pos
+            for q, seq in wires.items()
+            for pos, idx in enumerate(seq)
+        }
+        for idx, gate in enumerate(gates):
+            if gate is None:
+                continue
+            succ = _common_successor(gates, wires, position, idx, gate)
+            if succ is None:
+                continue
+            partner = gates[succ]
+            if partner is None:
+                continue
+            if partner == inverse_gate(gate) and partner.qubits == gate.qubits:
+                if gate.name in ROTATION_GATES:
+                    continue  # rotation pairs are handled by merge_rotations
+                gates[idx] = None
+                gates[succ] = None
+                removed += 2
+                changed = True
+        if changed:
+            gates = [g for g in gates if g is not None]
+    return _rebuild(circuit, gates), removed
+
+
+def _common_successor(gates, wires, position, idx, gate) -> Optional[int]:
+    """Index of the next gate if it immediately follows ``idx`` on all wires."""
+    succ = None
+    for q in gate.qubits:
+        seq = wires[q]
+        pos = position[(idx, q)]
+        if pos + 1 >= len(seq):
+            return None
+        nxt = seq[pos + 1]
+        if succ is None:
+            succ = nxt
+        elif succ != nxt:
+            return None
+    return succ
+
+
+def merge_rotations(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
+    """Fuse adjacent same-axis single-qubit rotations; drop ~zero angles.
+
+    ``h h`` and ``yh yh`` pairs also collapse here (they are
+    ``pi``-rotations about fixed axes up to phase).  Angles are reduced mod
+    ``2*pi``; an angle within 1e-12 of 0 (or ``2*pi``) removes the gate
+    entirely (``rz(2*pi) = -I`` is a global phase).
+    """
+    gates: List[Optional[Gate]] = list(circuit.gates)
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        wires = _wire_sequences(gates)
+        for q, seq in wires.items():
+            for pos in range(len(seq) - 1):
+                i, j = seq[pos], seq[pos + 1]
+                a, b = gates[i], gates[j]
+                if a is None or b is None:
+                    continue
+                if a.num_qubits != 1 or b.num_qubits != 1:
+                    continue
+                merged = _merge_pair(a, b)
+                if merged is None:
+                    continue
+                gates[i] = None
+                gates[j] = merged if merged != "drop" else None
+                removed += 2 if merged == "drop" else 1
+                changed = True
+        if changed:
+            gates = [g for g in gates if g is not None]
+    return _rebuild(circuit, gates), removed
+
+
+def _merge_pair(a: Gate, b: Gate):
+    """Merge two adjacent single-qubit gates on the same wire, or None."""
+    axis_a = _MERGE_AXIS.get(a.name)
+    axis_b = _MERGE_AXIS.get(b.name)
+    if axis_a is None or axis_a != axis_b:
+        return None
+    qubit = a.qubits
+    if axis_a in ("h", "yh"):
+        # self-inverse fixed gates: equal pair drops
+        return "drop" if a.name == b.name else None
+    angle_a = a.params[0] if a.params else _FIXED_ANGLE[a.name]
+    angle_b = b.params[0] if b.params else _FIXED_ANGLE[b.name]
+    total = math.remainder(angle_a + angle_b, _TWO_PI)
+    if abs(total) < 1e-12:
+        return "drop"
+    return Gate(f"r{axis_a}", qubit, (total,))
+
+
+def commutative_cancel(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
+    """Cancel equal CNOT pairs separated only by commuting 1q gates.
+
+    For a ``cx(c, t)``: diagonal gates may sit on the control wire and
+    X-axis gates on the target wire between the pair.
+    """
+    gates: List[Optional[Gate]] = list(circuit.gates)
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        wires = _wire_sequences(gates)
+        position = {
+            (idx, q): pos
+            for q, seq in wires.items()
+            for pos, idx in enumerate(seq)
+        }
+        for idx, gate in enumerate(gates):
+            if gate is None or gate.name != "cx":
+                continue
+            control, target = gate.qubits
+            j_c = _next_blocking(gates, wires, position, idx, control, _DIAGONAL_1Q)
+            j_t = _next_blocking(gates, wires, position, idx, target, _X_AXIS_1Q)
+            if j_c is None or j_c != j_t:
+                continue
+            partner = gates[j_c]
+            if partner is not None and partner.name == "cx" and partner.qubits == gate.qubits:
+                gates[idx] = None
+                gates[j_c] = None
+                removed += 2
+                changed = True
+        if changed:
+            gates = [g for g in gates if g is not None]
+    return _rebuild(circuit, gates), removed
+
+
+def _next_blocking(gates, wires, position, idx, qubit, transparent) -> Optional[int]:
+    """Next gate on ``qubit`` after ``idx`` that is not a transparent 1q gate."""
+    seq = wires[qubit]
+    pos = position[(idx, qubit)]
+    for nxt in seq[pos + 1:]:
+        gate = gates[nxt]
+        if gate is None:
+            continue
+        if gate.num_qubits == 1 and gate.name in transparent:
+            continue
+        return nxt
+    return None
+
+
+def fuse_swap_cx(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
+    """Fuse a SWAP with an adjacent CNOT on the same qubit pair.
+
+    ``SWAP = CX(a,b) CX(b,a) CX(a,b)``, so a neighbouring CNOT absorbs one:
+
+    * ``[swap(a,b), cx(a,b)]`` -> ``[cx(a,b), cx(b,a)]``
+    * ``[cx(a,b), swap(a,b)]`` -> ``[cx(b,a), cx(a,b)]``
+
+    Each fusion turns 3+1 hardware CNOTs into 2 on the same coupled pair,
+    so routed circuits stay valid.  Returns ``(circuit, fused_count)``.
+    """
+    gates: List[Optional[Gate]] = list(circuit.gates)
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        wires = _wire_sequences(gates)
+        position = {
+            (idx, q): pos
+            for q, seq in wires.items()
+            for pos, idx in enumerate(seq)
+        }
+        for idx, gate in enumerate(gates):
+            if gate is None:
+                continue
+            succ = _common_successor(gates, wires, position, idx, gate)
+            if succ is None:
+                continue
+            partner = gates[succ]
+            if partner is None or set(partner.qubits) != set(gate.qubits):
+                continue
+            if gate.name == "swap" and partner.name == "cx":
+                # [swap(a,b), cx(c,t)] -> [cx(c,t), cx(t,c)]
+                c, t = partner.qubits
+                gates[idx] = Gate("cx", (c, t))
+                gates[succ] = Gate("cx", (t, c))
+            elif gate.name == "cx" and partner.name == "swap":
+                # [cx(c,t), swap(a,b)] -> [cx(t,c), cx(c,t)]
+                c, t = gate.qubits
+                gates[idx] = Gate("cx", (t, c))
+                gates[succ] = Gate("cx", (c, t))
+            else:
+                continue
+            fused += 1
+            changed = True
+            break
+    return _rebuild(circuit, gates), fused
+
+
+def optimize(circuit: QuantumCircuit, max_rounds: int = 50) -> QuantumCircuit:
+    """Run all peephole passes to a fixed point."""
+    current = circuit
+    for _ in range(max_rounds):
+        total = 0
+        current, n = cancel_adjacent_pairs(current)
+        total += n
+        current, n = merge_rotations(current)
+        total += n
+        current, n = commutative_cancel(current)
+        total += n
+        current, n = fuse_swap_cx(current)
+        total += n
+        if total == 0:
+            break
+    return current

@@ -1,0 +1,60 @@
+"""Generic compilation pipeline (the repository's "Qiskit_L3" stand-in).
+
+The paper feeds every frontend's output (Paulihedral, TK, naive) through a
+generic industry compiler.  :func:`transpile` reproduces that stage:
+
+* level 0 — no optimization, routing only (if a coupling map is given);
+* level 1 — adjacent-pair cancellation + rotation merging;
+* level 2 — level 1 plus commutative CNOT cancellation;
+* level 3 — level 2 run to a joint fixed point, before *and* after routing.
+
+Routing uses the SABRE-style router with a dense initial layout, mirroring
+Qiskit's default at high optimization levels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit import QuantumCircuit
+from .coupling import CouplingMap
+from .layout import Layout
+from .peephole import cancel_adjacent_pairs, commutative_cancel, merge_rotations, optimize
+from .routing import route, validate_routed
+
+__all__ = ["transpile"]
+
+
+def _optimize_at_level(circuit: QuantumCircuit, level: int) -> QuantumCircuit:
+    if level <= 0:
+        return circuit
+    if level == 1:
+        out, _ = cancel_adjacent_pairs(circuit)
+        out, _ = merge_rotations(out)
+        return out
+    if level == 2:
+        out, _ = cancel_adjacent_pairs(circuit)
+        out, _ = merge_rotations(out)
+        out, _ = commutative_cancel(out)
+        return out
+    return optimize(circuit)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: Optional[CouplingMap] = None,
+    optimization_level: int = 3,
+    initial_layout: Optional[Layout] = None,
+) -> QuantumCircuit:
+    """Generic compile: optimize, route to hardware (optional), re-optimize.
+
+    When ``coupling`` is ``None`` the target is the all-to-all FT backend and
+    only gate-level optimization runs.
+    """
+    out = _optimize_at_level(circuit, optimization_level)
+    if coupling is not None:
+        result = route(out, coupling, initial_layout=initial_layout)
+        out = result.circuit
+        out = _optimize_at_level(out, optimization_level)
+        validate_routed(out, coupling)
+    return out

@@ -1,0 +1,195 @@
+"""SABRE-style swap routing.
+
+Maps a logical circuit onto a coupling-constrained device by inserting SWAP
+gates.  This is the generic qubit-mapping stage of the baseline compilers
+(the paper routes TK/naive output through "Qiskit_L3", whose router is
+SABRE); Paulihedral's own SC pass avoids most of this cost by construction.
+
+The heuristic follows Li, Ding & Xie (ASPLOS 2019): a front layer of blocked
+two-qubit gates, a lookahead ("extended") set, per-qubit decay to spread
+swaps, and the distance-sum score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit import Gate, QuantumCircuit
+from .coupling import CouplingMap
+from .layout import Layout, dense_initial_layout
+
+__all__ = ["route", "RoutingResult", "validate_routed"]
+
+_EXTENDED_SIZE = 20
+_EXTENDED_WEIGHT = 0.5
+_DECAY_STEP = 0.001
+_DECAY_RESET_INTERVAL = 5
+
+
+class RoutingResult:
+    """Output of :func:`route`: the physical circuit plus layout history."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Layout,
+        final_layout: Layout,
+        swap_count: int,
+    ):
+        self.circuit = circuit
+        self.initial_layout = initial_layout
+        self.final_layout = final_layout
+        self.swap_count = swap_count
+
+
+def route(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Layout] = None,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate touches a coupled pair.
+
+    The returned circuit acts on *physical* qubits (``coupling.num_qubits``
+    wide).
+    """
+    if initial_layout is None:
+        initial_layout = dense_initial_layout(coupling, circuit.num_qubits)
+    layout = initial_layout.copy()
+    out = QuantumCircuit(coupling.num_qubits, name=circuit.name)
+    gates = list(circuit.gates)
+    n = len(gates)
+
+    # Dependency structure: per logical qubit, the ordered gate indices.
+    per_qubit: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+    for idx, gate in enumerate(gates):
+        for q in gate.qubits:
+            per_qubit[q].append(idx)
+    cursor = {q: 0 for q in per_qubit}
+    emitted = [False] * n
+    decay = [1.0] * coupling.num_qubits
+    steps_since_reset = 0
+    swap_count = 0
+
+    def ready(idx: int) -> bool:
+        return all(
+            per_qubit[q][cursor[q]] == idx for q in gates[idx].qubits
+        )
+
+    def advance(idx: int) -> None:
+        for q in gates[idx].qubits:
+            cursor[q] += 1
+
+    def front_layer() -> List[int]:
+        front = []
+        for q, seq in per_qubit.items():
+            if cursor[q] < len(seq):
+                idx = seq[cursor[q]]
+                if not emitted[idx] and ready(idx) and idx not in front:
+                    front.append(idx)
+        return front
+
+    def emit(idx: int) -> None:
+        gate = gates[idx]
+        physical = tuple(layout.physical(q) for q in gate.qubits)
+        out.append(Gate(gate.name, physical, gate.params))
+        emitted[idx] = True
+        advance(idx)
+
+    def executable(idx: int) -> bool:
+        gate = gates[idx]
+        if gate.num_qubits == 1:
+            return True
+        p0, p1 = (layout.physical(q) for q in gate.qubits)
+        return coupling.is_connected(p0, p1)
+
+    def extended_set(front: Sequence[int]) -> List[int]:
+        # Successor two-qubit gates of the front layer, breadth-first.
+        result: List[int] = []
+        local_cursor = dict(cursor)
+        frontier = list(front)
+        seen: Set[int] = set(front)
+        while frontier and len(result) < _EXTENDED_SIZE:
+            idx = frontier.pop(0)
+            for q in gates[idx].qubits:
+                pos = local_cursor[q]
+                seq = per_qubit[q]
+                # step past idx on this wire
+                while pos < len(seq) and seq[pos] != idx:
+                    pos += 1
+                nxt = pos + 1
+                if nxt < len(seq):
+                    succ = seq[nxt]
+                    if succ not in seen:
+                        seen.add(succ)
+                        if gates[succ].num_qubits == 2:
+                            result.append(succ)
+                        frontier.append(succ)
+        return result
+
+    def score(front: Sequence[int], ext: Sequence[int], trial: Layout, swap: Tuple[int, int]) -> float:
+        total = 0.0
+        for idx in front:
+            q0, q1 = gates[idx].qubits
+            total += coupling.distance(trial.physical(q0), trial.physical(q1))
+        total *= max(decay[swap[0]], decay[swap[1]])
+        if ext:
+            ext_sum = 0.0
+            for idx in ext:
+                q0, q1 = gates[idx].qubits
+                ext_sum += coupling.distance(trial.physical(q0), trial.physical(q1))
+            total += _EXTENDED_WEIGHT * ext_sum / len(ext)
+        return total
+
+    while True:
+        front = front_layer()
+        if not front:
+            break
+        progressed = False
+        for idx in list(front):
+            if executable(idx):
+                emit(idx)
+                progressed = True
+        if progressed:
+            continue
+
+        # All front gates are blocked two-qubit gates: pick the best SWAP.
+        front = front_layer()
+        blocked_physical: Set[int] = set()
+        for idx in front:
+            for q in gates[idx].qubits:
+                blocked_physical.add(layout.physical(q))
+        candidates: Set[Tuple[int, int]] = set()
+        for p in blocked_physical:
+            for nbr in coupling.neighbors(p):
+                candidates.add(tuple(sorted((p, nbr))))
+        ext = extended_set(front)
+        best_swap = None
+        best_score = None
+        for swap in sorted(candidates):
+            trial = layout.copy()
+            trial.swap_physical(*swap)
+            s = score(front, ext, trial, swap)
+            if best_score is None or s < best_score:
+                best_score = s
+                best_swap = swap
+        assert best_swap is not None, "no swap candidates on a connected device"
+        out.append(Gate("swap", best_swap))
+        layout.swap_physical(*best_swap)
+        swap_count += 1
+        decay[best_swap[0]] += _DECAY_STEP
+        decay[best_swap[1]] += _DECAY_STEP
+        steps_since_reset += 1
+        if steps_since_reset >= _DECAY_RESET_INTERVAL:
+            decay = [1.0] * coupling.num_qubits
+            steps_since_reset = 0
+
+    return RoutingResult(out, initial_layout, layout, swap_count)
+
+
+def validate_routed(circuit: QuantumCircuit, coupling: CouplingMap) -> None:
+    """Raise if any two-qubit gate acts on a non-coupled pair."""
+    for gate in circuit:
+        if gate.num_qubits == 2:
+            a, b = gate.qubits
+            if not coupling.is_connected(a, b):
+                raise ValueError(f"gate {gate!r} acts on non-adjacent qubits")

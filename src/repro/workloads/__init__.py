@@ -1,0 +1,65 @@
+"""Benchmark workload generators (the paper's Table 1 suite)."""
+
+from .fermion import PauliSum, annihilation, creation, excitation_terms
+from .lattices import heisenberg_program, ising_program, lattice_edges
+from .molecules import MOLECULE_SPECS, molecule_program
+from .qaoa import (
+    best_maxcut_bitstrings,
+    maxcut_program,
+    maxcut_value,
+    random_graph,
+    regular_graph,
+    tsp_program,
+)
+from .random_hamiltonian import random_hamiltonian_program, random_string
+from .registry import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    naive_gate_counts,
+)
+from .uccsd import uccsd_excitations, uccsd_program
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "MOLECULE_SPECS",
+    "PauliSum",
+    "annihilation",
+    "benchmark_names",
+    "best_maxcut_bitstrings",
+    "build_benchmark",
+    "creation",
+    "excitation_terms",
+    "heisenberg_program",
+    "ising_program",
+    "lattice_edges",
+    "maxcut_program",
+    "maxcut_value",
+    "molecule_program",
+    "naive_gate_counts",
+    "random_graph",
+    "random_hamiltonian_program",
+    "random_string",
+    "regular_graph",
+    "tsp_program",
+    "uccsd_excitations",
+    "uccsd_program",
+]
+
+from .hubbard import (
+    bind_parameters,
+    hubbard_hamiltonian,
+    hubbard_trotter_program,
+    hubbard_ucc_ansatz,
+    two_site_ground_energy,
+)
+
+__all__ += [
+    "bind_parameters",
+    "hubbard_hamiltonian",
+    "hubbard_trotter_program",
+    "hubbard_ucc_ansatz",
+    "two_site_ground_energy",
+]

@@ -1,0 +1,88 @@
+"""Condensed-matter lattice Hamiltonians: Ising and Heisenberg (Table 1).
+
+The paper's Ising-kD / Heisen-kD benchmarks are 30-qubit nearest-neighbour
+models on 1-D chains, 2-D grids (5 x 6) and 3-D blocks (2 x 3 x 5):
+
+* Ising:      ``H = sum_<uv> J Z_u Z_v`` (29/49/61 edges -> strings);
+* Heisenberg: ``H = sum_<uv> (Jx X_u X_v + Jy Y_u Y_v + Jz Z_u Z_v)``.
+
+Both use one string per block (plain Trotter form, Figure 6a).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..ir import PauliProgram
+from ..pauli import PauliString
+
+__all__ = ["lattice_edges", "ising_program", "heisenberg_program"]
+
+
+def lattice_edges(dimensions: Sequence[int]) -> List[Tuple[int, int]]:
+    """Nearest-neighbour edges of a row-major hyper-rectangular lattice."""
+    dims = list(dimensions)
+    if not dims or any(d <= 0 for d in dims):
+        raise ValueError("dimensions must be positive")
+    num_sites = 1
+    for d in dims:
+        num_sites *= d
+
+    strides = [1] * len(dims)
+    for axis in range(len(dims) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * dims[axis + 1]
+
+    def coords(site: int) -> List[int]:
+        out = []
+        for axis in range(len(dims)):
+            out.append((site // strides[axis]) % dims[axis])
+        return out
+
+    edges = []
+    for site in range(num_sites):
+        c = coords(site)
+        for axis in range(len(dims)):
+            if c[axis] + 1 < dims[axis]:
+                edges.append((site, site + strides[axis]))
+    return edges
+
+
+def ising_program(
+    dimensions: Sequence[int],
+    coupling: float = 1.0,
+    dt: float = 0.1,
+    name: str = "",
+) -> PauliProgram:
+    """Nearest-neighbour Ising model ``sum J Z_u Z_v`` as a Trotter step."""
+    edges = lattice_edges(dimensions)
+    n = 1
+    for d in dimensions:
+        n *= d
+    terms = [
+        (PauliString.from_sparse(n, {u: "Z", v: "Z"}), coupling) for u, v in edges
+    ]
+    label = "x".join(str(d) for d in dimensions)
+    return PauliProgram.from_hamiltonian(terms, parameter=dt, name=name or f"Ising-{label}")
+
+
+def heisenberg_program(
+    dimensions: Sequence[int],
+    couplings: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+    dt: float = 0.1,
+    name: str = "",
+) -> PauliProgram:
+    """Nearest-neighbour Heisenberg model (XX + YY + ZZ per edge)."""
+    edges = lattice_edges(dimensions)
+    n = 1
+    for d in dimensions:
+        n *= d
+    jx, jy, jz = couplings
+    terms = []
+    for u, v in edges:
+        terms.append((PauliString.from_sparse(n, {u: "X", v: "X"}), jx))
+        terms.append((PauliString.from_sparse(n, {u: "Y", v: "Y"}), jy))
+        terms.append((PauliString.from_sparse(n, {u: "Z", v: "Z"}), jz))
+    label = "x".join(str(d) for d in dimensions)
+    return PauliProgram.from_hamiltonian(
+        terms, parameter=dt, name=name or f"Heisen-{label}"
+    )

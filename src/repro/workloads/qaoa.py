@@ -1,0 +1,167 @@
+"""QAOA workloads: MaxCut on regular/random graphs and TSP (Table 1).
+
+The cost layer of a 1-level QAOA ansatz is a single Pauli block — all
+strings share the variational parameter ``gamma`` (paper Figure 6c).
+
+* :func:`maxcut_program` — ``exp(i gamma w_ij Z_i Z_j)`` per edge.
+* :func:`regular_graph` / :func:`random_graph` — the paper's REG-n-d and
+  Rand-n-p instances (seeded).
+* :func:`tsp_program` — one-hot encoded traveling-salesman QAOA with
+  distance cost plus one-city-per-slot / one-slot-per-city penalties;
+  matches Table 1's counts (TSP-4: 112 strings, TSP-5: 225).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..ir import PauliBlock, PauliProgram
+from ..pauli import PauliString
+
+__all__ = [
+    "regular_graph",
+    "random_graph",
+    "maxcut_program",
+    "tsp_program",
+    "maxcut_value",
+    "best_maxcut_bitstrings",
+]
+
+
+def regular_graph(num_nodes: int, degree: int, seed: int = 7) -> nx.Graph:
+    """Random ``degree``-regular graph (paper's REG-n-d)."""
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)
+
+
+def random_graph(num_nodes: int, edge_probability: float, seed: int = 7) -> nx.Graph:
+    """Erdos-Renyi graph (paper's Rand-n-p)."""
+    return nx.gnp_random_graph(num_nodes, edge_probability, seed=seed)
+
+
+def maxcut_program(
+    graph: nx.Graph,
+    gamma: float = 1.0,
+    weights: Optional[Dict[Tuple[int, int], float]] = None,
+    name: str = "",
+) -> PauliProgram:
+    """MaxCut cost layer: one block of ZZ strings sharing ``gamma``."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise ValueError("graph must have nodes")
+    terms = []
+    for u, v in sorted(tuple(sorted(e)) for e in graph.edges()):
+        weight = (weights or {}).get((u, v), 1.0)
+        terms.append((PauliString.from_sparse(n, {u: "Z", v: "Z"}), weight))
+    if not terms:
+        raise ValueError("graph must have edges")
+    block = PauliBlock(terms, parameter=gamma, name="cost")
+    return PauliProgram([block], name=name or f"maxcut-{n}")
+
+
+def tsp_program(
+    num_cities: int,
+    gamma: float = 1.0,
+    penalty: float = 2.0,
+    seed: int = 7,
+    name: str = "",
+) -> PauliProgram:
+    """One-hot TSP QAOA cost layer on ``num_cities ** 2`` qubits.
+
+    Qubit ``city * n + slot`` is 1 when ``city`` is visited at time
+    ``slot``.  Binary variables expand as ``x = (1 - Z)/2``; constant terms
+    are dropped, yielding:
+
+    * ``ZZ`` distance couplings for consecutive slots,
+    * ``ZZ`` penalty couplings inside each one-hot group (city rows and
+      slot columns),
+    * single-``Z`` bias terms.
+    """
+    import random
+
+    n = num_cities
+    rng = random.Random(seed)
+    distance = {
+        (i, j): rng.uniform(1.0, 10.0) for i in range(n) for j in range(n) if i != j
+    }
+    num_qubits = n * n
+
+    def q(city: int, slot: int) -> int:
+        return city * n + slot
+
+    linear: Dict[int, float] = {}
+    quadratic: Dict[Tuple[int, int], float] = {}
+
+    def add_quadratic(a: int, b: int, coeff: float) -> None:
+        key = (min(a, b), max(a, b))
+        quadratic[key] = quadratic.get(key, 0.0) + coeff
+
+    def add_linear(a: int, coeff: float) -> None:
+        linear[a] = linear.get(a, 0.0) + coeff
+
+    # Distance cost: sum_{i != j, p} d(i, j) x_{i,p} x_{j,p+1}.
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            for p in range(n):
+                a, b = q(i, p), q(j, (p + 1) % n)
+                d = distance[(i, j)]
+                # x_a x_b = (1 - Z_a - Z_b + Z_a Z_b) / 4
+                add_quadratic(a, b, d / 4.0)
+                add_linear(a, -d / 4.0)
+                add_linear(b, -d / 4.0)
+    # Penalties: P (sum_a x_a - 1)^2 = P (2 sum_{a<b} x_a x_b - sum_a x_a + 1)
+    # over city rows and slot columns.  With x = (1 - Z)/2 each pair (a, b)
+    # contributes +P/2 ZZ and -P/2 to both Z biases; the -P sum_a x_a part
+    # adds +P/2 per Z bias; constants are dropped.
+    groups = [[q(i, p) for p in range(n)] for i in range(n)]
+    groups += [[q(i, p) for i in range(n)] for p in range(n)]
+    for group in groups:
+        for idx, a in enumerate(group):
+            add_linear(a, penalty / 2.0)
+            for b in group[idx + 1:]:
+                add_quadratic(a, b, penalty / 2.0)
+                add_linear(a, -penalty / 2.0)
+                add_linear(b, -penalty / 2.0)
+
+    terms: List[Tuple[PauliString, float]] = []
+    for (a, b), coeff in sorted(quadratic.items()):
+        if abs(coeff) > 1e-12:
+            terms.append((PauliString.from_sparse(num_qubits, {a: "Z", b: "Z"}), coeff))
+    for a, coeff in sorted(linear.items()):
+        if abs(coeff) > 1e-12:
+            terms.append((PauliString.from_sparse(num_qubits, {a: "Z"}), coeff))
+    block = PauliBlock(terms, parameter=gamma, name="tsp-cost")
+    return PauliProgram([block], name=name or f"TSP-{n}")
+
+
+# ----------------------------------------------------------------------
+# MaxCut ground truth (for the Figure 11 success-probability study)
+# ----------------------------------------------------------------------
+
+def maxcut_value(graph: nx.Graph, bitstring: int) -> int:
+    """Cut value of an integer-encoded assignment (bit i = side of node i)."""
+    return sum(
+        1
+        for u, v in graph.edges()
+        if ((bitstring >> u) & 1) != ((bitstring >> v) & 1)
+    )
+
+
+def best_maxcut_bitstrings(graph: nx.Graph) -> Tuple[int, List[int]]:
+    """Exhaustive optimum: ``(best_value, all optimal assignments)``."""
+    n = graph.number_of_nodes()
+    if n > 20:
+        raise ValueError("exhaustive MaxCut is only for small graphs")
+    best = -1
+    winners: List[int] = []
+    for assignment in range(2 ** n):
+        value = maxcut_value(graph, assignment)
+        if value > best:
+            best = value
+            winners = [assignment]
+        elif value == best:
+            winners.append(assignment)
+    return best, winners

@@ -1,0 +1,166 @@
+"""Benchmark registry: the paper's 31 Table 1 workloads, by name.
+
+Every benchmark is available at two scales:
+
+* ``"paper"`` — the exact Table 1 size (string counts in the tens of
+  thousands for the largest entries; expect long compile times, just as the
+  paper reports hours for tket on these);
+* ``"small"`` — a structurally identical scaled-down instance for CI and
+  laptop benchmarking (same generator, fewer strings / qubits).
+
+``naive_gate_counts`` reproduces Table 1's CNOT/single columns: the gate
+counts of the unoptimized one-string-at-a-time synthesis, ignoring mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir import PauliProgram
+from .lattices import heisenberg_program, ising_program
+from .molecules import MOLECULE_SPECS, molecule_program
+from .qaoa import maxcut_program, random_graph, regular_graph, tsp_program
+from .random_hamiltonian import random_hamiltonian_program
+from .uccsd import uccsd_program
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "build_benchmark", "naive_gate_counts", "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 1 row: identity plus builders for both scales."""
+
+    name: str
+    backend: str       # "sc" or "ft"
+    family: str        # UCCSD / QAOA / Ising / Heisenberg / Molecule / Random
+    paper_builder: Callable[[], PauliProgram]
+    small_builder: Callable[[], PauliProgram]
+
+    def build(self, scale: str = "small") -> PauliProgram:
+        if scale == "paper":
+            return self.paper_builder()
+        if scale == "small":
+            return self.small_builder()
+        raise ValueError(f"unknown scale {scale!r}; expected 'paper' or 'small'")
+
+
+def _uccsd(n: int) -> Callable[[], PauliProgram]:
+    return lambda: uccsd_program(n, name=f"UCCSD-{n}")
+
+
+def _maxcut_reg(n: int, d: int) -> Callable[[], PauliProgram]:
+    return lambda: maxcut_program(regular_graph(n, d), name=f"REG-{n}-{d}")
+
+
+def _maxcut_rand(n: int, p: float) -> Callable[[], PauliProgram]:
+    return lambda: maxcut_program(random_graph(n, p), name=f"Rand-{n}-{p}")
+
+
+def _tsp(n: int) -> Callable[[], PauliProgram]:
+    return lambda: tsp_program(n, name=f"TSP-{n}")
+
+
+def _ising(dims) -> Callable[[], PauliProgram]:
+    return lambda: ising_program(dims)
+
+
+def _heisenberg(dims) -> Callable[[], PauliProgram]:
+    return lambda: heisenberg_program(dims)
+
+
+def _molecule(name: str, num_strings: Optional[int] = None) -> Callable[[], PauliProgram]:
+    return lambda: molecule_program(name, num_strings=num_strings)
+
+
+def _random(n: int, num_strings: Optional[int] = None) -> Callable[[], PauliProgram]:
+    return lambda: random_hamiltonian_program(n, num_strings=num_strings)
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {}
+
+
+def _register(name: str, backend: str, family: str, paper, small) -> None:
+    BENCHMARKS[name] = BenchmarkSpec(name, backend, family, paper, small)
+
+
+# --- SC backend: UCCSD ------------------------------------------------
+for _n in (8, 12, 16, 20, 24, 28):
+    _register(
+        f"UCCSD-{_n}", "sc", "UCCSD",
+        _uccsd(_n),
+        _uccsd(8) if _n > 12 else _uccsd(_n),
+    )
+
+# --- SC backend: QAOA --------------------------------------------------
+for _d in (4, 8, 12):
+    _register(
+        f"REG-20-{_d}", "sc", "QAOA",
+        _maxcut_reg(20, _d),
+        _maxcut_reg(12, min(_d, 4)),
+    )
+for _p in (0.1, 0.3, 0.5):
+    _register(
+        f"Rand-20-{_p}", "sc", "QAOA",
+        _maxcut_rand(20, _p),
+        _maxcut_rand(12, _p),
+    )
+_register("TSP-4", "sc", "QAOA", _tsp(4), _tsp(3))
+_register("TSP-5", "sc", "QAOA", _tsp(5), _tsp(3))
+
+# --- FT backend: lattices ----------------------------------------------
+_register("Ising-1D", "ft", "Ising", _ising([30]), _ising([12]))
+_register("Ising-2D", "ft", "Ising", _ising([5, 6]), _ising([3, 4]))
+_register("Ising-3D", "ft", "Ising", _ising([2, 3, 5]), _ising([2, 2, 3]))
+_register("Heisen-1D", "ft", "Heisenberg", _heisenberg([30]), _heisenberg([12]))
+_register("Heisen-2D", "ft", "Heisenberg", _heisenberg([5, 6]), _heisenberg([3, 4]))
+_register("Heisen-3D", "ft", "Heisenberg", _heisenberg([2, 3, 5]), _heisenberg([2, 2, 3]))
+
+# --- FT backend: molecules (synthetic; see repro.workloads.molecules) ---
+for _mol in MOLECULE_SPECS:
+    _register(_mol, "ft", "Molecule", _molecule(_mol), _molecule(_mol, num_strings=300))
+
+# --- FT backend: random Hamiltonians ------------------------------------
+for _n in (30, 40, 50, 60, 70, 80):
+    _register(
+        f"Rand-{_n}", "ft", "Random",
+        _random(_n),
+        _random(min(_n, 30), num_strings=200),
+    )
+
+
+def benchmark_names(backend: Optional[str] = None, family: Optional[str] = None) -> List[str]:
+    """Registry lookup, optionally filtered by backend and/or family."""
+    return [
+        name
+        for name, spec in BENCHMARKS.items()
+        if (backend is None or spec.backend == backend)
+        and (family is None or spec.family == family)
+    ]
+
+
+def build_benchmark(name: str, scale: str = "small") -> PauliProgram:
+    """Instantiate a benchmark program by Table 1 name."""
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}") from None
+    return spec.build(scale)
+
+
+def naive_gate_counts(program: PauliProgram) -> Tuple[int, int]:
+    """Table 1's naive (CNOT, single-qubit) counts, computed analytically.
+
+    A weight-``w`` string costs ``2 (w - 1)`` CNOTs; single-qubit gates are
+    one ``Rz`` plus two basis-change gates per X/Y operator.
+    """
+    cnots = 0
+    singles = 0
+    for ws, _ in program.all_weighted_strings():
+        w = ws.string.weight
+        if w == 0:
+            continue
+        cnots += 2 * (w - 1)
+        basis = sum(1 for q in ws.string.support if ws.string[q] in ("X", "Y"))
+        singles += 1 + 2 * basis
+    return cnots, singles

@@ -1,0 +1,105 @@
+"""Tests for metrics, tables, and the experiment drivers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ablation_alignment,
+    ablation_tree_embedding,
+    circuit_metrics,
+    format_table,
+    geomean,
+    percent_change,
+    ratio,
+    table1_inventory,
+    table2_compare,
+    table3_compare,
+    table4_passes,
+)
+from repro.circuit import QuantumCircuit
+from repro.transpile import linear
+
+
+class TestMetrics:
+    def test_circuit_metrics_counts(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).rz(0.2, 1).swap(1, 2)
+        m = circuit_metrics(qc)
+        assert m["cnot"] == 1 + 3
+        assert m["single"] == 2
+        assert m["total"] == m["cnot"] + m["single"]
+        assert m["depth"] >= 4  # swap decomposed into 3 CNOTs
+
+    def test_percent_change(self):
+        assert percent_change(50, 100) == -50.0
+        assert percent_change(150, 100) == 50.0
+        assert percent_change(0, 0) == 0.0
+        assert math.isinf(percent_change(5, 0))
+
+    def test_ratio_guard(self):
+        assert ratio(4, 2) == 2.0
+        assert math.isinf(ratio(1, 0))
+
+    def test_geomean(self):
+        assert math.isclose(geomean([2, 8]), 4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+
+class TestTables:
+    def test_format_alignment(self):
+        text = format_table(["A", "Metric"], [["x", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "longer" in lines[3]
+
+    def test_float_rendering(self):
+        text = format_table(["V"], [[1.0], [0.123456]])
+        assert "1" in text and "0.123" in text
+
+
+class TestExperimentDrivers:
+    def test_table1_shapes(self):
+        rows = table1_inventory(["Ising-1D", "REG-20-4"], scale="small")
+        assert {r["name"] for r in rows} == {"Ising-1D", "REG-20-4"}
+        for r in rows:
+            assert r["paulis"] > 0 and r["naive_cnot"] > 0
+
+    def test_table2_ising_exact_paper_row(self):
+        # Paper Table 2, Ising-1D with PH+Qiskit_L3: 58 CNOT, 29 single,
+        # 87 total, depth 6 — our pipeline reproduces it exactly.
+        row = table2_compare("Ising-1D", scale="paper")
+        ph = row["ph+qiskit_l3"]
+        assert (ph["cnot"], ph["single"], ph["total"], ph["depth"]) == (58, 29, 87, 6)
+
+    def test_table2_has_all_configs(self):
+        row = table2_compare("Ising-2D", scale="small")
+        for config in ("ph+qiskit_l3", "ph+tket_o2", "tk+qiskit_l3", "tk+tket_o2"):
+            assert set(row[config]) >= {"cnot", "single", "total", "depth"}
+
+    def test_table3_rejects_non_qaoa(self):
+        with pytest.raises(ValueError):
+            table3_compare("Ising-1D")
+
+    def test_table3_small(self):
+        row = table3_compare("REG-20-4", scale="small", seeds=2)
+        assert row["ph"]["cnot"] > 0
+        assert row["qaoa_compiler"]["cnot"] > 0
+
+    def test_table4_keys(self):
+        row = table4_passes("Heisen-1D", scale="small")
+        assert set(row["do_vs_gco_pct"]) == {"cnot", "single", "total", "depth"}
+        assert row["do_vs_gco_pct"]["depth"] < 0  # DO reduces depth on lattices
+
+    def test_ablation_alignment_runs(self):
+        row = ablation_alignment("UCCSD-8", scale="small")
+        assert row["adaptive"]["cnot"] <= row["scheduled_naive"]["cnot"]
+
+    def test_ablation_tree_embedding_runs(self):
+        from repro.transpile import grid
+        row = ablation_tree_embedding("REG-20-4", scale="small", coupling=grid(3, 4))
+        assert row["tree_embedding"]["cnot"] > 0

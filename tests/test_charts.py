@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_scales_to_width(self):
+        text = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_baseline_tick(self):
+        text = bar_chart({"a": 2.0, "b": 0.5}, width=20, baseline=1.0)
+        # The small bar's line must show the reference tick beyond the bar.
+        assert "|" in text.splitlines()[1]
+
+    def test_values_printed(self):
+        text = bar_chart({"x": 1.234}, unit="x")
+        assert "1.23x" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_clamped(self):
+        text = bar_chart({"neg": -1.0, "pos": 1.0}, width=8)
+        assert text.splitlines()[0].count("█") == 0
+
+    def test_grouped(self):
+        text = grouped_bar_chart(
+            [("first", {"a": 1.0}), ("second", {"b": 2.0})]
+        )
+        assert "first:" in text and "second:" in text
+
+
+class TestScheduleArt:
+    def make_schedule(self):
+        from repro.core import do_schedule
+        from repro.ir import PauliBlock, PauliProgram
+
+        prog = PauliProgram([
+            PauliBlock(["IZZZ"], 0.1, name="big"),
+            PauliBlock(["ZIII"], 0.1, name="small"),
+        ])
+        return do_schedule(prog)
+
+    def test_renders_rows_per_qubit(self):
+        from repro.analysis import render_schedule
+
+        art = render_schedule(self.make_schedule())
+        lines = art.splitlines()
+        assert lines[0].startswith(" ")
+        assert sum(1 for l in lines if l.startswith("q")) == 4
+
+    def test_padding_block_in_same_band(self):
+        from repro.analysis import render_schedule
+
+        art = render_schedule(self.make_schedule())
+        # One layer: the band holds two columns (primary + padding).
+        q0_row = [l for l in art.splitlines() if l.startswith("q0")][0]
+        assert "|" not in q0_row  # single layer only
+
+    def test_empty_schedule_rejected(self):
+        from repro.analysis import render_schedule
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_schedule([])
+
+    def test_layer_truncation_note(self):
+        from repro.analysis import render_schedule
+        from repro.core import gco_schedule
+        from repro.ir import PauliProgram
+
+        prog = PauliProgram.from_hamiltonian(
+            [("ZZ", 1.0)] * 20, parameter=0.1
+        )
+        art = render_schedule(gco_schedule(prog), max_layers=3)
+        assert "more layers" in art

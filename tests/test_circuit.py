@@ -1,0 +1,211 @@
+"""Tests for the circuit substrate: gates, containers, simulation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Gate,
+    QuantumCircuit,
+    circuit_unitary,
+    equivalent_up_to_global_phase,
+    gate_matrix,
+    inverse_gate,
+    simulate,
+)
+
+
+class TestGate:
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("foo", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+
+    def test_rotation_needs_angle(self):
+        with pytest.raises(ValueError):
+            Gate("rz", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_inverse_of_rotation(self):
+        g = Gate("rz", (0,), (0.3,))
+        assert inverse_gate(g).params == (-0.3,)
+
+    def test_inverse_of_s(self):
+        assert inverse_gate(Gate("s", (0,))).name == "sdg"
+
+    def test_self_inverse(self):
+        for name in ("h", "x", "yh"):
+            g = Gate(name, (0,))
+            assert inverse_gate(g) == g
+
+    def test_all_matrices_unitary(self):
+        gates = [
+            Gate("h", (0,)), Gate("x", (0,)), Gate("y", (0,)), Gate("z", (0,)),
+            Gate("s", (0,)), Gate("sdg", (0,)), Gate("yh", (0,)),
+            Gate("rx", (0,), (0.7,)), Gate("ry", (0,), (0.7,)), Gate("rz", (0,), (0.7,)),
+            Gate("cx", (0, 1)), Gate("cz", (0, 1)), Gate("swap", (0, 1)),
+        ]
+        for g in gates:
+            m = gate_matrix(g)
+            assert np.allclose(m @ m.conj().T, np.eye(m.shape[0])), g
+
+    def test_yh_maps_y_to_z(self):
+        yh = gate_matrix(Gate("yh", (0,)))
+        y = np.array([[0, -1j], [1j, 0]])
+        z = np.diag([1, -1]).astype(complex)
+        assert np.allclose(yh @ y @ yh.conj().T, z)
+        assert np.allclose(yh @ yh, np.eye(2))
+
+
+class TestCircuitContainer:
+    def test_builders_and_counts(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).rz(0.5, 1).cx(0, 1).h(0).swap(1, 2)
+        assert len(qc) == 6
+        assert qc.count_ops() == {"h": 2, "cx": 2, "rz": 1, "swap": 1}
+        assert qc.cnot_count == 2 + 3
+        assert qc.single_qubit_count == 3
+        assert qc.two_qubit_count == 3
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(1).cx(0, 1)
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).h(1).h(2).h(3)
+        assert qc.depth() == 1
+        qc.cx(0, 1).cx(2, 3)
+        assert qc.depth() == 2
+        qc.cx(1, 2)
+        assert qc.depth() == 3
+
+    def test_two_qubit_depth_ignores_singles(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(0).h(0).cx(0, 1)
+        assert qc.two_qubit_depth() == 1
+
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).s(0).cx(0, 1).rz(0.4, 1)
+        inv = qc.inverse()
+        names = [g.name for g in inv]
+        assert names == ["rz", "cx", "sdg", "h"]
+        assert inv[0].params == (-0.4,)
+
+    def test_decompose_swaps(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        decomposed = qc.decompose_swaps()
+        assert [g.name for g in decomposed] == ["cx", "cx", "cx"]
+        u1 = circuit_unitary(qc)
+        u2 = circuit_unitary(decomposed)
+        assert equivalent_up_to_global_phase(u1, u2)
+
+    def test_remap_qubits(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        remapped = qc.remap_qubits({0: 2, 1: 0}, num_qubits=3)
+        assert remapped[0].qubits == (2, 0)
+
+    def test_compose_mismatch(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+
+class TestSimulation:
+    def test_x_flips(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        state = simulate(qc)
+        assert np.allclose(state, [0, 1])
+
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        state = simulate(qc)
+        expected = np.zeros(4)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_cx_little_endian(self):
+        # control q0, target q1: |01> (q0=1) -> |11> (index 3)
+        qc = QuantumCircuit(2)
+        qc.x(0).cx(0, 1)
+        state = simulate(qc)
+        assert np.isclose(abs(state[3]), 1.0)
+
+    def test_cx_control_zero_is_noop(self):
+        qc = QuantumCircuit(2)
+        qc.x(1).cx(0, 1)
+        state = simulate(qc)
+        assert np.isclose(abs(state[2]), 1.0)
+
+    def test_swap_moves_amplitude(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).swap(0, 1)
+        state = simulate(qc)
+        assert np.isclose(abs(state[2]), 1.0)
+
+    def test_unitary_of_empty_circuit(self):
+        qc = QuantumCircuit(2)
+        assert np.allclose(circuit_unitary(qc), np.eye(4))
+
+    def test_initial_state_shape_checked(self):
+        with pytest.raises(ValueError):
+            simulate(QuantumCircuit(2), np.zeros(3))
+
+    def test_rz_phases(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.8, 0)
+        u = circuit_unitary(qc)
+        assert np.allclose(u, np.diag([np.exp(-0.4j), np.exp(0.4j)]))
+
+
+class TestGlobalPhaseComparison:
+    def test_equal_up_to_phase(self):
+        a = np.eye(2, dtype=complex)
+        assert equivalent_up_to_global_phase(a, 1j * a)
+
+    def test_unequal(self):
+        a = np.eye(2, dtype=complex)
+        b = np.diag([1, -1]).astype(complex)
+        assert not equivalent_up_to_global_phase(a, b)
+
+    def test_shape_mismatch(self):
+        assert not equivalent_up_to_global_phase(np.eye(2), np.eye(4))
+
+
+@given(st.lists(st.sampled_from(["h", "x", "s", "yh"]), min_size=1, max_size=8),
+       st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_circuit_times_inverse_is_identity(names, qubit):
+    qc = QuantumCircuit(3)
+    for name in names:
+        qc.append(Gate(name, (qubit,)))
+    total = qc.copy().compose(qc.inverse())
+    assert equivalent_up_to_global_phase(circuit_unitary(total), np.eye(8))
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_cx_network_inverse(pairs):
+    qc = QuantumCircuit(3)
+    for a, b in pairs:
+        if a != b:
+            qc.cx(a, b)
+    if len(qc) == 0:
+        return
+    total = qc.copy().compose(qc.inverse())
+    assert np.allclose(circuit_unitary(total), np.eye(8))

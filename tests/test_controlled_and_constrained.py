@@ -1,0 +1,143 @@
+"""Tests for controlled evolution and constrained-QAOA extensions."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.circuit import QuantumCircuit, circuit_unitary, equivalent_up_to_global_phase
+from repro.core import do_schedule, ft_compile, gco_schedule, sc_compile
+from repro.core.controlled import (
+    controlled_pauli_evolution_circuit,
+    controlled_pauli_rotation_gates,
+    controlled_program_circuit,
+    controlled_rz_gates,
+)
+from repro.ir import PauliProgram
+from repro.pauli import PauliString
+from repro.transpile import linear
+from repro.workloads.qaoa_constrained import (
+    constrained_qaoa_program,
+    coloring_cost_block,
+    xy_mixer_blocks,
+)
+
+
+def controlled_unitary(u: np.ndarray, control_last: bool = True) -> np.ndarray:
+    """|0><0| (x) I + |1><1| (x) U with the control as the HIGHEST qubit."""
+    dim = u.shape[0]
+    out = np.zeros((2 * dim, 2 * dim), dtype=complex)
+    out[:dim, :dim] = np.eye(dim)
+    out[dim:, dim:] = u
+    return out
+
+
+class TestControlledRz:
+    def test_matches_crz_matrix(self):
+        qc = QuantumCircuit(2)
+        qc.extend(controlled_rz_gates(0.7, control=1, target=0))
+        u = circuit_unitary(qc)
+        rz = scipy.linalg.expm(-1j * 0.35 * np.diag([1, -1]))
+        expected = controlled_unitary(rz)
+        assert equivalent_up_to_global_phase(u, expected)
+
+
+class TestControlledPauli:
+    @pytest.mark.parametrize("label", ["Z", "XX", "ZY", "XYZ"])
+    def test_controlled_evolution_matrix(self, label):
+        string = PauliString.from_label(label)
+        coefficient = 0.43
+        circuit = controlled_pauli_evolution_circuit(
+            string, coefficient, control=string.num_qubits
+        )
+        u = circuit_unitary(circuit)
+        base = scipy.linalg.expm(1j * coefficient * string.to_matrix())
+        assert equivalent_up_to_global_phase(u, controlled_unitary(base))
+
+    def test_control_cannot_overlap_support(self):
+        with pytest.raises(ValueError):
+            controlled_pauli_rotation_gates(PauliString.from_label("XZ"), 0.1, control=0)
+
+    def test_identity_becomes_control_phase(self):
+        gates = controlled_pauli_rotation_gates(PauliString.identity(2), 0.8, control=2)
+        assert len(gates) == 1 and gates[0].name == "rz"
+
+    def test_controlled_program_power(self):
+        program = PauliProgram.from_hamiltonian([("ZZ", 0.5), ("XI", 0.3)], parameter=0.2)
+        control = 2
+        circuit = controlled_program_circuit(program, control, power=2)
+        u = circuit_unitary(circuit)
+        step = (
+            scipy.linalg.expm(1j * 0.06 * PauliString.from_label("XI").to_matrix())
+            @ scipy.linalg.expm(1j * 0.1 * PauliString.from_label("ZZ").to_matrix())
+        )
+        assert equivalent_up_to_global_phase(u, controlled_unitary(step @ step))
+
+    def test_controlled_power_rejects_zero(self):
+        program = PauliProgram.from_hamiltonian([("Z", 1.0)])
+        with pytest.raises(ValueError):
+            controlled_program_circuit(program, 1, power=0)
+
+
+class TestConstrainedQAOA:
+    def test_program_shape(self):
+        prog = constrained_qaoa_program(3, 3, [(0, 1), (1, 2)])
+        assert prog.num_qubits == 9
+        # 1 cost block + 3 items x 3 slot pairs.
+        assert prog.num_blocks == 1 + 9
+
+    def test_mixer_blocks_are_two_string_bundles(self):
+        for block in xy_mixer_blocks(2, 3, beta=0.4):
+            labels = sorted(ws.string.label.replace("I", "") for ws in block)
+            assert labels == ["XX", "YY"]
+            assert block.parameter == 0.4
+            assert block.is_mutually_commuting()
+
+    def test_two_slot_groups_have_single_pair(self):
+        blocks = xy_mixer_blocks(2, 2)
+        assert len(blocks) == 2  # one swap pair per item
+
+    def test_cost_block_counts(self):
+        block = coloring_cost_block(3, 4, [(0, 1)])
+        assert block.num_strings == 4  # one ZZ per slot
+
+    def test_rejects_bad_conflicts(self):
+        with pytest.raises(ValueError):
+            coloring_cost_block(2, 2, [(0, 0)])
+        with pytest.raises(ValueError):
+            coloring_cost_block(2, 2, [])
+
+    def test_schedulers_never_split_blocks(self):
+        prog = constrained_qaoa_program(2, 3, [(0, 1)])
+        for schedule in (gco_schedule(prog), do_schedule(prog)):
+            scheduled_blocks = [block for layer in schedule for block in layer]
+            bundles = [
+                sorted(ws.string.label for ws in block)
+                for block in scheduled_blocks
+                if block.num_strings == 2
+            ]
+            original = [
+                sorted(ws.string.label for ws in block)
+                for block in prog
+                if block.num_strings == 2
+            ]
+            assert sorted(map(tuple, bundles)) == sorted(map(tuple, original))
+
+    def test_compiles_on_both_backends(self):
+        prog = constrained_qaoa_program(2, 2, [(0, 1)])
+        ft = ft_compile(prog)
+        assert ft.circuit.cnot_count > 0
+        sc = sc_compile(prog, linear(4))
+        assert sc.circuit.cnot_count > 0
+
+    def test_xy_mixer_preserves_one_hot_subspace(self):
+        # The compiled XY block must keep amplitude inside the one-hot
+        # subspace of each item group.
+        from repro.circuit import simulate
+        prog = PauliProgram(xy_mixer_blocks(1, 2, beta=0.7))
+        result = ft_compile(prog)
+        state = np.zeros(4, dtype=complex)
+        state[0b01] = 1.0  # slot 0 occupied
+        out = simulate(result.circuit, state)
+        # Amplitude may rotate between |01> and |10> but never leak.
+        leak = abs(out[0b00]) ** 2 + abs(out[0b11]) ** 2
+        assert leak < 1e-10

@@ -1,0 +1,182 @@
+"""Tests for the DAG circuit representation and commutation analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Gate, QuantumCircuit, circuit_unitary, equivalent_up_to_global_phase
+from repro.circuit.dag import DAGCircuit, critical_path, dag_depth, gates_commute
+
+
+class TestGatesCommute:
+    def test_disjoint_always(self):
+        assert gates_commute(Gate("h", (0,)), Gate("x", (1,)))
+        assert gates_commute(Gate("cx", (0, 1)), Gate("cx", (2, 3)))
+
+    def test_diagonal_pair(self):
+        assert gates_commute(Gate("rz", (0,), (0.3,)), Gate("s", (0,)))
+        assert gates_commute(Gate("cz", (0, 1)), Gate("rz", (1,), (0.2,)))
+
+    def test_cx_shared_control(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("cx", (0, 2)))
+
+    def test_cx_shared_target(self):
+        assert gates_commute(Gate("cx", (0, 2)), Gate("cx", (1, 2)))
+
+    def test_cx_control_target_conflict(self):
+        assert not gates_commute(Gate("cx", (0, 1)), Gate("cx", (1, 2)))
+
+    def test_diag_through_control(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("rz", (0,), (0.5,)))
+
+    def test_x_through_target(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("x", (1,)))
+
+    def test_h_blocks(self):
+        assert not gates_commute(Gate("cx", (0, 1)), Gate("h", (0,)))
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_claimed_commutation_is_sound(self, data):
+        """Whenever gates_commute says True, the matrices really commute."""
+        def random_gate():
+            kind = data.draw(st.sampled_from(["h", "x", "z", "s", "rz", "rx", "cx", "cz"]))
+            a = data.draw(st.integers(0, 2))
+            if kind in ("cx", "cz"):
+                b = data.draw(st.integers(0, 2).filter(lambda x: x != a))
+                return Gate(kind, (a, b))
+            if kind in ("rz", "rx"):
+                return Gate(kind, (a,), (data.draw(st.floats(-2, 2, allow_nan=False)),))
+            return Gate(kind, (a,))
+
+        g1, g2 = random_gate(), random_gate()
+        if not gates_commute(g1, g2):
+            return
+        qc_ab = QuantumCircuit(3)
+        qc_ab.append(g1)
+        qc_ab.append(g2)
+        qc_ba = QuantumCircuit(3)
+        qc_ba.append(g2)
+        qc_ba.append(g1)
+        assert np.allclose(circuit_unitary(qc_ab), circuit_unitary(qc_ba))
+
+
+class TestDAGStructure:
+    def test_wire_order_edges(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).h(1)
+        dag = DAGCircuit.from_circuit(qc)
+        assert dag.edges[0] == [1]
+        assert dag.edges[1] == [2]
+
+    def test_parallel_gates_independent(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        dag = DAGCircuit.from_circuit(qc)
+        assert dag.edges[0] == []
+        assert dag.edges[1] == []
+
+    def test_topological_order_valid(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(1, 2).h(2)
+        dag = DAGCircuit.from_circuit(qc)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for u, vs in dag.edges.items():
+            for v in vs:
+                assert position[u] < position[v]
+
+    def test_layers_asap(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).h(1).cx(0, 1).h(2)
+        dag = DAGCircuit.from_circuit(qc)
+        layers = dag.layers()
+        assert set(layers[0]) == {0, 1, 3}
+        assert layers[1] == [2]
+
+    def test_round_trip_preserves_unitary(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).rz(0.2, 1).cx(1, 2).yh(2)
+        dag = DAGCircuit.from_circuit(qc)
+        rebuilt = dag.to_circuit()
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(rebuilt), circuit_unitary(qc)
+        )
+
+
+class TestCommutationDAG:
+    def test_relaxes_shared_control(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).cx(0, 2)
+        strict = DAGCircuit.from_circuit(qc)
+        relaxed = DAGCircuit.commutation_dag(qc)
+        assert strict.edges[0] == [1]
+        assert relaxed.edges[0] == []
+
+    def test_depth_shrinks_or_equal(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1).cx(0, 2).cx(0, 3)
+        strict = dag_depth(DAGCircuit.from_circuit(qc))
+        relaxed = dag_depth(DAGCircuit.commutation_dag(qc))
+        assert relaxed <= strict
+        assert relaxed == 1.0  # all three share only the control
+
+    def test_any_topological_order_is_equivalent(self):
+        qc = QuantumCircuit(3)
+        qc.rz(0.3, 0).cx(0, 1).rz(0.4, 0).cx(0, 2).s(0)
+        dag = DAGCircuit.commutation_dag(qc)
+        rebuilt = dag.to_circuit(list(reversed(dag.topological_order()))[::-1])
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(rebuilt), circuit_unitary(qc)
+        )
+
+
+class TestCriticalPath:
+    def test_depth_matches_circuit_depth(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(1, 2).rz(0.1, 2)
+        dag = DAGCircuit.from_circuit(qc)
+        assert dag_depth(dag) == qc.depth()
+
+    def test_weighted_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        dag = DAGCircuit.from_circuit(qc)
+        heavy_cx = dag_depth(dag, weight=lambda g: 10.0 if g.name == "cx" else 1.0)
+        assert heavy_cx == 11.0
+
+    def test_critical_path_is_a_path(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).h(2).cx(1, 2)
+        dag = DAGCircuit.from_circuit(qc)
+        path = critical_path(dag)
+        assert len(path) == dag_depth(dag)
+        preds = dag.predecessors()
+        for earlier, later in zip(path, path[1:]):
+            assert earlier in preds[later]
+
+    def test_empty_circuit(self):
+        dag = DAGCircuit.from_circuit(QuantumCircuit(1))
+        assert dag_depth(dag) == 0.0
+        assert critical_path(dag) == []
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_commutation_dag_round_trip_property(data):
+    qc = QuantumCircuit(3)
+    n = data.draw(st.integers(1, 12))
+    for _ in range(n):
+        kind = data.draw(st.sampled_from(["h", "s", "rz", "cx", "x", "cz"]))
+        a = data.draw(st.integers(0, 2))
+        if kind in ("cx", "cz"):
+            b = data.draw(st.integers(0, 2).filter(lambda x: x != a))
+            qc.append(Gate(kind, (a, b)))
+        elif kind == "rz":
+            qc.rz(data.draw(st.floats(-2, 2, allow_nan=False)), a)
+        else:
+            qc.append(Gate(kind, (a,)))
+    dag = DAGCircuit.commutation_dag(qc)
+    rebuilt = dag.to_circuit()
+    assert equivalent_up_to_global_phase(circuit_unitary(rebuilt), circuit_unitary(qc))

@@ -1,0 +1,131 @@
+"""Tests for the extension modules: Trotterization, QASM export, CLI."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary, equivalent_up_to_global_phase
+from repro.circuit.qasm import from_qasm, to_qasm
+from repro.cli import main
+from repro.core.trotter import trotter_error_bound, trotter_steps_for, trotterize
+from repro.ir import PauliProgram
+
+
+class TestTrotter:
+    @pytest.fixture
+    def step(self):
+        return PauliProgram.from_hamiltonian([("XX", 1.0), ("ZZ", 0.5)], parameter=0.1)
+
+    def test_trotterize_replicates_blocks(self, step):
+        program = trotterize(step, 3)
+        assert program.num_blocks == 6
+        assert program.num_strings == 6
+
+    def test_trotterize_rejects_bad_count(self, step):
+        with pytest.raises(ValueError):
+            trotterize(step, 0)
+
+    def test_steps_for(self):
+        assert trotter_steps_for(1.0, 0.1) == 10
+        assert trotter_steps_for(0.01, 0.1) == 1
+        with pytest.raises(ValueError):
+            trotter_steps_for(1.0, 0.0)
+
+    def test_error_bound_decreases_with_steps(self):
+        # XI and ZI anticommute, so the bound is nonzero and ~ 1/N.
+        step = PauliProgram.from_hamiltonian([("XI", 1.0), ("ZI", 0.5)], parameter=0.1)
+        few = trotter_error_bound(step, total_time=1.0, num_steps=2)
+        many = trotter_error_bound(step, total_time=1.0, num_steps=20)
+        assert many < few
+
+    def test_error_bound_zero_for_commuting(self):
+        commuting = PauliProgram.from_hamiltonian([("ZZ", 1.0), ("ZI", 1.0)])
+        assert trotter_error_bound(commuting, 1.0, 1) == 0.0
+
+    def test_step_preserving_cost_at_most_linear(self, step):
+        from repro.core import ft_compile
+
+        single = ft_compile(trotterize(step, 1), scheduler="none").circuit
+        triple = ft_compile(trotterize(step, 3), scheduler="none").circuit
+        assert triple.cnot_count <= 3 * single.cnot_count
+
+    def test_gco_merges_across_steps(self, step):
+        # Documented caveat: GCO groups identical terms from different
+        # steps, collapsing the product formula to one coarse step.
+        from repro.core import ft_compile
+
+        merged = ft_compile(trotterize(step, 8), scheduler="gco").circuit
+        single = ft_compile(trotterize(step, 1), scheduler="gco").circuit
+        assert merged.count_ops()["rz"] == single.count_ops()["rz"]
+
+
+class TestQASM:
+    def test_round_trip_simple(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).rz(0.5, 1).swap(1, 2).s(2).sdg(0)
+        text = to_qasm(qc)
+        back = from_qasm(text)
+        assert equivalent_up_to_global_phase(circuit_unitary(back), circuit_unitary(qc))
+
+    def test_yh_decomposition_exact(self):
+        qc = QuantumCircuit(1)
+        qc.yh(0)
+        back = from_qasm(to_qasm(qc))
+        assert equivalent_up_to_global_phase(circuit_unitary(back), circuit_unitary(qc))
+
+    def test_header_present(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        text = to_qasm(qc)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+
+    def test_parse_angles_with_pi(self):
+        text = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nrz(pi/2) q[0];\n'
+        qc = from_qasm(text)
+        assert math.isclose(qc[0].params[0], math.pi / 2)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            from_qasm("no qreg here")
+
+    def test_parse_rejects_unknown_gate(self):
+        with pytest.raises(ValueError):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\nfoo q[0];')
+
+    def test_unsafe_angle_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\nrz(__import__) q[0];')
+
+    def test_compiled_circuit_exports(self):
+        from repro.core import ft_compile
+        program = PauliProgram.from_hamiltonian([("XY", 0.3), ("ZZ", 0.4)])
+        circuit = ft_compile(program).circuit
+        back = from_qasm(to_qasm(circuit))
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(back), circuit_unitary(circuit)
+        )
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "UCCSD-8" in out and "Ising-1D" in out
+
+    def test_compile_known(self, capsys):
+        assert main(["compile", "Ising-1D"]) == 0
+        assert "CNOT" in capsys.readouterr().out
+
+    def test_compile_unknown(self, capsys):
+        assert main(["compile", "nope"]) == 2
+
+    def test_table4(self, capsys):
+        assert main(["table4", "Ising-1D"]) == 0
+        out = capsys.readouterr().out
+        assert "DO vs GCO" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "Ising-1D"]) == 0
+        assert "ph+qiskit_l3" in capsys.readouterr().out

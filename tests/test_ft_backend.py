@@ -1,0 +1,113 @@
+"""Tests for the FT backend pass (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import circuit_unitary, equivalent_up_to_global_phase
+from repro.core import ft_compile, most_overlap_sort, naive_program_circuit
+from repro.ir import PauliBlock, PauliProgram
+from repro.pauli import PauliString
+
+from helpers import terms_unitary
+
+
+def prog(*block_specs, parameter=0.5):
+    blocks = [
+        PauliBlock(labels if isinstance(labels, list) else [labels], parameter=parameter)
+        for labels in block_specs
+    ]
+    return PauliProgram(blocks)
+
+
+class TestMostOverlapSort:
+    def test_chains_by_overlap(self):
+        terms = [
+            (PauliString.from_label("ZZZ"), 1.0),
+            (PauliString.from_label("XXX"), 1.0),
+            (PauliString.from_label("ZZX"), 1.0),
+        ]
+        ordered = most_overlap_sort(terms)
+        labels = [t[0].label for t in ordered]
+        assert labels == ["ZZZ", "ZZX", "XXX"]
+
+    def test_short_lists_unchanged(self):
+        terms = [(PauliString.from_label("X"), 1.0)]
+        assert most_overlap_sort(terms) == terms
+
+
+class TestFTCorrectness:
+    @pytest.mark.parametrize("scheduler", ["gco", "do", "none"])
+    def test_unitary_matches_emitted_terms(self, scheduler):
+        p = prog("ZZI", "IXX", ["YYI", "IZZ"], "XIX", parameter=0.31)
+        result = ft_compile(p, scheduler=scheduler)
+        expected = terms_unitary(result.emitted_terms, p.num_qubits)
+        assert equivalent_up_to_global_phase(circuit_unitary(result.circuit), expected)
+
+    def test_emitted_terms_cover_program(self):
+        p = prog("ZZ", ["XX", "YY"], parameter=0.2)
+        result = ft_compile(p)
+        emitted = sorted((s.label, c) for s, c in result.emitted_terms)
+        assert emitted == [("XX", 0.2), ("YY", 0.2), ("ZZ", 0.2)]
+
+    def test_commuting_program_matches_program_semantics(self):
+        # All-Z strings commute, so any emission order equals the program
+        # order product exactly.
+        p = prog("ZZI", "IZZ", "ZIZ", parameter=0.4)
+        result = ft_compile(p)
+        expected = terms_unitary(
+            [(ws.string, ws.weight * 0.4) for ws, _ in
+             ((ws, None) for block in p for ws in block)],
+            p.num_qubits,
+        )
+        assert equivalent_up_to_global_phase(circuit_unitary(result.circuit), expected)
+
+    def test_identity_strings_ignored(self):
+        p = prog("III", "ZZZ")
+        result = ft_compile(p)
+        assert len(result.emitted_terms) == 1
+
+
+class TestFTEffectiveness:
+    def test_beats_naive_on_uccsd_like_block(self):
+        # Mutually-commuting excitation-style strings share many operators.
+        p = prog(
+            ["XXXY", "XXYX", "XYXX", "YXXX"],
+            ["XXYY", "YYXX"],
+            parameter=0.7,
+        )
+        ph = ft_compile(p)
+        naive = naive_program_circuit(p)
+        assert ph.circuit.cnot_count < naive.cnot_count
+
+    def test_gco_groups_similar_strings(self):
+        p = prog("ZZII", "XXII", "ZZII", "XXII", parameter=0.3)
+        result = ft_compile(p, scheduler="gco")
+        labels = [s.label for s, _ in result.emitted_terms]
+        assert labels == ["XXII", "XXII", "ZZII", "ZZII"]
+        # Identical adjacent strings collapse into single rotations.
+        assert result.circuit.count_ops()["rz"] == 2
+        assert result.circuit.count_ops().get("cx", 0) == 4
+
+    def test_peephole_toggle(self):
+        p = prog("ZZII", "ZZII")
+        with_opt = ft_compile(p, run_peephole=True)
+        without = ft_compile(p, run_peephole=False)
+        assert with_opt.circuit.size <= without.circuit.size
+
+
+@given(
+    st.lists(
+        st.text(alphabet="IXYZ", min_size=3, max_size=3).filter(lambda s: set(s) != {"I"}),
+        min_size=1,
+        max_size=6,
+    ),
+    st.sampled_from(["gco", "do", "none"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_ft_always_unitary_equivalent(labels, scheduler):
+    p = prog(*labels, parameter=0.17)
+    result = ft_compile(p, scheduler=scheduler)
+    expected = terms_unitary(result.emitted_terms, 3)
+    assert equivalent_up_to_global_phase(circuit_unitary(result.circuit), expected)

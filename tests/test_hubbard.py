@@ -1,0 +1,135 @@
+"""Tests for the Hubbard workload and expectation-value machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import simulate
+from repro.core import compile_program
+from repro.pauli import PauliString
+from repro.workloads.fermion import PauliSum
+from repro.workloads.hubbard import (
+    bind_parameters,
+    hubbard_hamiltonian,
+    hubbard_trotter_program,
+    hubbard_ucc_ansatz,
+    two_site_ground_energy,
+)
+
+
+class TestPauliSumDense:
+    def test_to_matrix_matches_terms(self):
+        s = PauliSum.of(PauliString.from_label("XZ"), 2.0) + PauliSum.of(
+            PauliString.from_label("II"), 1.0
+        )
+        expected = 2.0 * PauliString.from_label("XZ").to_matrix() + np.eye(4)
+        assert np.allclose(s.to_matrix(), expected)
+
+    def test_expectation_matches_dense(self):
+        s = PauliSum.of(PauliString.from_label("ZI"), 0.7) + PauliSum.of(
+            PauliString.from_label("XX"), -0.2
+        )
+        rng = np.random.default_rng(3)
+        state = rng.normal(size=4) + 1j * rng.normal(size=4)
+        state /= np.linalg.norm(state)
+        dense = state.conj() @ s.to_matrix() @ state
+        assert np.isclose(s.expectation(state), dense)
+
+    def test_expectation_of_z_on_basis_state(self):
+        s = PauliSum.of(PauliString.from_label("Z"), 1.0)
+        zero = np.array([1.0, 0.0], dtype=complex)
+        one = np.array([0.0, 1.0], dtype=complex)
+        assert np.isclose(s.expectation(zero), 1.0)
+        assert np.isclose(s.expectation(one), -1.0)
+
+
+class TestHubbardHamiltonian:
+    def test_hermitian(self):
+        h = hubbard_hamiltonian(2)
+        dense = h.to_matrix()
+        assert np.allclose(dense, dense.conj().T)
+
+    def test_two_site_spectrum_matches_analytic(self):
+        # The closed form is the ground energy of the HALF-FILLED (N=2)
+        # sector, so project the spectrum onto particle number 2.
+        t, u = 1.0, 4.0
+        h = hubbard_hamiltonian(2, hopping=t, interaction=u)
+        eigenvalues, eigenvectors = np.linalg.eigh(h.to_matrix())
+        half_filled = [
+            e
+            for e, v in zip(eigenvalues, eigenvectors.T)
+            if np.isclose(
+                sum(
+                    abs(v[i]) ** 2 * bin(i).count("1") for i in range(16)
+                ),
+                2.0,
+                atol=1e-8,
+            )
+        ]
+        assert np.isclose(min(half_filled), two_site_ground_energy(t, u), atol=1e-10)
+
+    def test_u_zero_is_free_fermions(self):
+        # Free 2-site model: single-particle energies +-t; many-body ground
+        # state fills both spin sectors' bonding orbitals: E0 = -2t.
+        h = hubbard_hamiltonian(2, hopping=1.0, interaction=0.0)
+        eigenvalues = np.linalg.eigvalsh(h.to_matrix())
+        assert np.isclose(eigenvalues[0], -2.0, atol=1e-10)
+
+    def test_particle_number_conserved(self):
+        h = hubbard_hamiltonian(2).to_matrix()
+        number = sum(
+            PauliSum.of(PauliString.from_sparse(4, {q: "Z"}), -0.5).to_matrix()
+            + 0.5 * np.eye(16)
+            for q in range(4)
+        )
+        assert np.allclose(h @ number, number @ h)
+
+    def test_rejects_single_site(self):
+        with pytest.raises(ValueError):
+            hubbard_hamiltonian(1)
+
+    def test_periodic_adds_bond(self):
+        open_chain = hubbard_hamiltonian(3, periodic=False)
+        ring = hubbard_hamiltonian(3, periodic=True)
+        assert len(ring.terms) > len(open_chain.terms)
+
+
+class TestHubbardPrograms:
+    def test_trotter_program_builds(self):
+        prog = hubbard_trotter_program(2, dt=0.05)
+        assert prog.num_qubits == 4
+        assert prog.num_strings == len(
+            [s for s in hubbard_hamiltonian(2).real_weighted_strings() if not s[0].is_identity]
+        )
+
+    def test_ansatz_blocks_commute(self):
+        ansatz, k = hubbard_ucc_ansatz(2)
+        assert k == ansatz.num_blocks
+        for block in ansatz:
+            assert block.is_mutually_commuting()
+
+    def test_bind_parameters(self):
+        ansatz, k = hubbard_ucc_ansatz(2)
+        bound = bind_parameters(ansatz, [0.1] * k)
+        assert all(b.parameter == 0.1 for b in bound)
+
+    def test_bind_wrong_arity(self):
+        ansatz, k = hubbard_ucc_ansatz(2)
+        with pytest.raises(ValueError):
+            bind_parameters(ansatz, [0.1] * (k + 1))
+
+    def test_vqe_single_point_below_hf(self):
+        # One hand-picked double-excitation angle lowers the energy below
+        # the reference state's U.
+        ansatz, k = hubbard_ucc_ansatz(2)
+        values = [0.0] * k
+        # The double excitation is the last block.
+        values[-1] = 0.5
+        bound = bind_parameters(ansatz, values)
+        compiled = compile_program(bound, backend="ft")
+        reference = np.zeros(16, dtype=complex)
+        reference[0b0101] = 1.0
+        state = simulate(compiled.circuit, reference)
+        h = hubbard_hamiltonian(2)
+        assert h.expectation(state).real < 4.0

@@ -1,0 +1,143 @@
+"""Cross-compiler integration tests.
+
+Every compiler in the repository — Paulihedral FT, Paulihedral SC, the TK
+baseline, naive synthesis, and the QAOA compiler — must agree on the
+physics: for a program whose terms all commute, all of them implement the
+*same* unitary regardless of ordering, mapping, or optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive_compile, qaoa_compile, tk_compile
+from repro.circuit import circuit_unitary, equivalent_up_to_global_phase
+from repro.core import compile_program, ft_compile, sc_compile
+from repro.ir import PauliBlock, PauliProgram
+from repro.pauli import PauliString
+from repro.transpile import linear, ring
+
+from helpers import layout_permutation, terms_unitary
+
+
+@pytest.fixture
+def commuting_program():
+    """A QAOA-style all-commuting program on 4 qubits."""
+    labels = [("IIZZ", 0.8), ("IZZI", -0.5), ("ZZII", 0.3), ("ZIIZ", 1.1)]
+    return PauliProgram([
+        PauliBlock([(l, w)], parameter=0.4) for l, w in labels
+    ])
+
+
+@pytest.fixture
+def expected_unitary(commuting_program):
+    terms = [
+        (ws.string, ws.weight * parameter)
+        for ws, parameter in commuting_program.all_weighted_strings()
+    ]
+    return terms_unitary(terms, 4)
+
+
+class TestAllCompilersAgree:
+    def test_ph_ft(self, commuting_program, expected_unitary):
+        for scheduler in ("gco", "do", "none"):
+            result = ft_compile(commuting_program, scheduler=scheduler)
+            assert equivalent_up_to_global_phase(
+                circuit_unitary(result.circuit), expected_unitary
+            ), scheduler
+
+    def test_ph_sc(self, commuting_program, expected_unitary):
+        cmap = linear(4)
+        result = sc_compile(commuting_program, cmap)
+        s_init = layout_permutation(result.initial_layout, 4)
+        s_final = layout_permutation(result.final_layout, 4)
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(result.circuit),
+            s_final @ expected_unitary @ s_init.conj().T,
+        )
+
+    def test_ph_sc_with_restarts(self, commuting_program, expected_unitary):
+        cmap = ring(4)
+        result = sc_compile(commuting_program, cmap, restarts=4)
+        s_init = layout_permutation(result.initial_layout, 4)
+        s_final = layout_permutation(result.final_layout, 4)
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(result.circuit),
+            s_final @ expected_unitary @ s_init.conj().T,
+        )
+
+    def test_tk(self, commuting_program, expected_unitary):
+        result = tk_compile(commuting_program)
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(result.circuit), expected_unitary
+        )
+
+    def test_naive_unrouted(self, commuting_program, expected_unitary):
+        circuit = naive_compile(commuting_program)
+        assert equivalent_up_to_global_phase(circuit_unitary(circuit), expected_unitary)
+
+    def test_qaoa_compiler(self, commuting_program, expected_unitary):
+        cmap = ring(4)
+        result = qaoa_compile(commuting_program, cmap, seeds=3)
+        s_init = layout_permutation(result.initial_layout, 4)
+        s_final = layout_permutation(result.final_layout, 4)
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(result.circuit),
+            s_final @ expected_unitary @ s_init.conj().T,
+        )
+
+    def test_compile_program_entry_point(self, commuting_program, expected_unitary):
+        ft = compile_program(commuting_program, backend="ft")
+        assert equivalent_up_to_global_phase(circuit_unitary(ft.circuit), expected_unitary)
+        sc = compile_program(commuting_program, backend="sc", coupling=linear(4))
+        s_init = layout_permutation(sc.initial_layout, 4)
+        s_final = layout_permutation(sc.final_layout, 4)
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(sc.circuit),
+            s_final @ expected_unitary @ s_init.conj().T,
+        )
+
+
+class TestGateCountOrdering:
+    """The paper's qualitative gate-count relationships on small instances."""
+
+    def test_ph_never_worse_than_naive_ft(self):
+        # UCCSD-style excitation blocks: PH must strictly win.
+        from repro.workloads import uccsd_program
+        program = uccsd_program(8)
+        ph = ft_compile(program).circuit
+        naive = naive_compile(program)
+        assert ph.cnot_count < naive.cnot_count
+        assert ph.cnot_count + ph.single_qubit_count < naive.cnot_count + naive.single_qubit_count
+
+    def test_ph_sc_beats_naive_plus_routing_on_uccsd(self):
+        from repro.transpile import grid, route
+        from repro.core.synthesis import naive_program_circuit
+        from repro.workloads import uccsd_program
+
+        program = uccsd_program(8)
+        cmap = grid(3, 3)
+        ph = sc_compile(program, cmap)
+        naive = route(naive_program_circuit(program), cmap)
+        assert ph.circuit.cnot_count < naive.circuit.cnot_count
+
+    def test_restart_determinism(self):
+        from repro.workloads import build_benchmark
+        program = build_benchmark("REG-20-4", "small")
+        cmap = linear(12)
+        a = sc_compile(program, cmap, restarts=4, seed=3)
+        b = sc_compile(program, cmap, restarts=4, seed=3)
+        assert a.circuit.gates == b.circuit.gates
+
+    def test_restarts_never_hurt(self):
+        from repro.workloads import build_benchmark
+        program = build_benchmark("Rand-20-0.3", "small")
+        cmap = linear(12)
+        one = sc_compile(program, cmap, restarts=1)
+        many = sc_compile(program, cmap, restarts=6)
+        assert many.circuit.cnot_count <= one.circuit.cnot_count
+
+    def test_bad_restart_count(self):
+        with pytest.raises(ValueError):
+            sc_compile(
+                PauliProgram([PauliBlock(["ZZ"], 1.0)]), linear(2), restarts=0
+            )

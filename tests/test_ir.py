@@ -1,0 +1,151 @@
+"""Tests for the Pauli IR: blocks, programs, parser, semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import PauliBlock, PauliProgram, WeightedString, format_program, parse_program
+from repro.pauli import PauliString
+
+
+def make_block(*labels, parameter=1.0, weights=None):
+    weights = weights or [1.0] * len(labels)
+    return PauliBlock(list(zip(labels, weights)), parameter=parameter)
+
+
+class TestBlock:
+    def test_accepts_mixed_entry_forms(self):
+        block = PauliBlock(
+            ["XZ", PauliString.from_label("ZZ"), ("YY", 0.5),
+             WeightedString(PauliString.from_label("XX"), -1.0)],
+            parameter=0.3,
+        )
+        assert block.num_strings == 4
+        assert block.parameter == 0.3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PauliBlock([], parameter=1.0)
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError):
+            PauliBlock(["XX", "X"])
+
+    def test_active_qubits_and_length(self):
+        block = make_block("IXY", "IZI")
+        assert block.active_qubits == (0, 1)
+        assert block.active_length == 2
+
+    def test_core_qubits(self):
+        block = make_block("XXI", "IXX")
+        assert block.core_qubits == (1,)
+
+    def test_mutually_commuting(self):
+        assert make_block("IIXY", "IIYX").is_mutually_commuting()
+        assert not make_block("XII", "ZII").is_mutually_commuting()
+
+    def test_lexicographic_sort(self):
+        block = make_block("ZZ", "XX", "YY")
+        ordered = block.sorted_lexicographically()
+        assert [ws.string.label for ws in ordered] == ["XX", "YY", "ZZ"]
+
+    def test_block_lex_key_uses_first_sorted_string(self):
+        block = make_block("ZZ", "XX")
+        assert block.lex_key() == PauliString.from_label("XX").lex_key()
+
+    def test_depth_estimate_grows_with_weight(self):
+        small = make_block("IIZ")
+        large = make_block("ZZZ")
+        assert large.depth_estimate() > small.depth_estimate()
+
+    def test_overlaps_qubits(self):
+        a = make_block("XII")
+        b = make_block("IIZ")
+        c = make_block("XIZ")
+        assert not a.overlaps_qubits(b)
+        assert a.overlaps_qubits(c)
+
+
+class TestProgram:
+    def test_from_hamiltonian(self):
+        prog = PauliProgram.from_hamiltonian([("XX", 0.5), ("ZZ", -1.0)], parameter=0.1)
+        assert prog.num_blocks == 2
+        assert prog.num_strings == 2
+        assert prog.num_qubits == 2
+
+    def test_rejects_mixed_qubit_counts(self):
+        with pytest.raises(ValueError):
+            PauliProgram([make_block("XX"), make_block("X")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PauliProgram([])
+
+    def test_semantics_sum(self):
+        prog = PauliProgram.from_hamiltonian([("X", 2.0), ("Z", 1.0)], parameter=0.5)
+        x = PauliString.from_label("X").to_matrix()
+        z = PauliString.from_label("Z").to_matrix()
+        assert np.allclose(prog.to_hamiltonian(), 0.5 * (2 * x + z))
+
+    def test_block_reorder_preserves_semantics(self):
+        prog = PauliProgram([make_block("XY", parameter=0.3), make_block("ZZ", parameter=0.7)])
+        swapped = prog.with_blocks(list(reversed(prog.blocks)))
+        assert np.allclose(prog.to_hamiltonian(), swapped.to_hamiltonian())
+        assert prog.multiset_of_terms() == swapped.multiset_of_terms()
+
+    def test_multiset_counts_duplicates(self):
+        prog = PauliProgram([make_block("XX"), make_block("XX")])
+        key = (PauliString.from_label("XX"), 1.0)
+        assert prog.multiset_of_terms()[key] == 2
+
+
+class TestParser:
+    def test_parse_simple(self):
+        prog = parse_program("{(IIXY, 0.5), (IIYX, -0.5), 0.2};")
+        assert prog.num_blocks == 1
+        block = prog[0]
+        assert block.parameter == 0.2
+        assert [ws.string.label for ws in block] == ["IIXY", "IIYX"]
+        assert [ws.weight for ws in block] == [0.5, -0.5]
+
+    def test_parse_symbolic_parameter(self):
+        prog = parse_program("{(XX, 1.0), theta};", parameters={"theta": 0.7})
+        assert prog[0].parameter == 0.7
+
+    def test_parse_unknown_symbol_defaults_to_one(self):
+        prog = parse_program("{(XX, 1.0), gamma};")
+        assert prog[0].parameter == 1.0
+
+    def test_round_trip(self):
+        text = "{(IXZ, 0.5), (ZZI, -1), 0.25};\n{(XXX, 1), 2};"
+        prog = parse_program(text)
+        again = parse_program(format_program(prog))
+        assert prog.multiset_of_terms() == again.multiset_of_terms()
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_program("no blocks here")
+
+    def test_parse_rejects_parameterless_block(self):
+        with pytest.raises(ValueError):
+            parse_program("{(XX, 1.0)};")
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(alphabet="IXYZ", min_size=3, max_size=3),
+                  st.floats(-2, 2, allow_nan=False)),
+        min_size=1,
+        max_size=5,
+    ),
+    st.randoms(),
+)
+@settings(max_examples=40, deadline=None)
+def test_permutation_invariance_property(terms, rng):
+    prog = PauliProgram.from_hamiltonian(terms, parameter=0.5)
+    blocks = list(prog.blocks)
+    rng.shuffle(blocks)
+    shuffled = prog.with_blocks(blocks)
+    assert prog.multiset_of_terms() == shuffled.multiset_of_terms()
+    assert np.allclose(prog.to_hamiltonian(), shuffled.to_hamiltonian())

@@ -1,0 +1,89 @@
+"""Tests for measurement grouping and sampled expectation estimation."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, simulate
+from repro.measure import MeasurementPlan, estimate_expectation, measurement_plans, sample_counts
+from repro.pauli import PauliString
+from repro.workloads.fermion import PauliSum
+from repro.workloads.hubbard import hubbard_hamiltonian
+
+
+def make_terms(*pairs):
+    return [(PauliString.from_label(label), weight) for label, weight in pairs]
+
+
+class TestMeasurementPlans:
+    def test_commuting_terms_share_one_plan(self):
+        terms = make_terms(("ZZ", 1.0), ("ZI", 0.5), ("IZ", -0.5))
+        plans = measurement_plans(terms, 2)
+        assert len(plans) == 1
+        assert len(plans[0].masks) == 3
+
+    def test_noncommuting_terms_split(self):
+        terms = make_terms(("XI", 1.0), ("ZI", 1.0))
+        plans = measurement_plans(terms, 1 + 1)
+        assert len(plans) == 2
+
+    def test_identity_folded_into_constant_plan(self):
+        terms = make_terms(("II", 2.5), ("ZZ", 1.0))
+        plans = measurement_plans(terms, 2)
+        constants = [p for p in plans if all(m == 0 for _, _, m in p.masks)]
+        assert len(constants) == 1
+        assert constants[0].masks[0][0] == 2.5
+
+    def test_diagonal_strings_need_no_basis_change(self):
+        terms = make_terms(("ZZ", 1.0), ("IZ", 1.0))
+        plans = measurement_plans(terms, 2)
+        assert len(plans[0].circuit) == 0
+
+
+class TestEstimation:
+    def test_z_on_computational_states(self):
+        terms = make_terms(("Z", 1.0))
+        plans = measurement_plans(terms, 1)
+        zero = np.array([1.0, 0.0], dtype=complex)
+        one = np.array([0.0, 1.0], dtype=complex)
+        assert estimate_expectation(plans, zero, shots=512) == pytest.approx(1.0)
+        assert estimate_expectation(plans, one, shots=512) == pytest.approx(-1.0)
+
+    def test_x_on_plus_state(self):
+        terms = make_terms(("X", 1.0))
+        plans = measurement_plans(terms, 1)
+        plus = np.array([1.0, 1.0], dtype=complex) / np.sqrt(2)
+        assert estimate_expectation(plans, plus, shots=2048) == pytest.approx(1.0, abs=0.05)
+
+    def test_matches_exact_expectation_statistically(self):
+        terms = make_terms(("ZZ", 0.7), ("XX", -0.4), ("ZI", 0.2))
+        plans = measurement_plans(terms, 2)
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).rz(0.3, 1)
+        state = simulate(qc)
+        observable = PauliSum(2, {s: w for s, w in terms})
+        exact = observable.expectation(state).real
+        sampled = estimate_expectation(plans, state, shots=20000, seed=5)
+        assert sampled == pytest.approx(exact, abs=0.05)
+
+    def test_hubbard_energy_estimate(self):
+        h = hubbard_hamiltonian(2)
+        terms = h.real_weighted_strings()
+        plans = measurement_plans(terms, 4)
+        # Reference half-filled state |0101>.
+        state = np.zeros(16, dtype=complex)
+        state[0b0101] = 1.0
+        exact = h.expectation(state).real
+        sampled = estimate_expectation(plans, state, shots=8000, seed=3)
+        assert sampled == pytest.approx(exact, abs=0.15)
+
+    def test_sample_counts_total(self):
+        rng = random.Random(0)
+        counts = sample_counts(np.array([0.5, 0.5]), 100, rng)
+        assert sum(counts.values()) == 100
+
+    def test_empty_counts_rejected(self):
+        plan = MeasurementPlan(QuantumCircuit(1), [(1.0, 1, 1)])
+        with pytest.raises(ValueError):
+            plan.estimate_from_counts({})

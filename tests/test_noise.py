@@ -1,0 +1,156 @@
+"""Tests for the noise model, noisy sampler, and QAOA study glue."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.noise import (
+    NoiseModel,
+    esp,
+    evaluate_qaoa,
+    build_full_circuit,
+    ideal_probabilities,
+    noisy_probabilities,
+    optimize_parameters,
+    qaoa_logical_circuit,
+    qaoa_study,
+    success_probability,
+)
+from repro.transpile import linear, ring, melbourne
+
+
+@pytest.fixture
+def line3_model():
+    return NoiseModel.uniform(linear(3), single_qubit=1e-3, two_qubit=2e-2, readout=3e-2)
+
+
+class TestNoiseModel:
+    def test_uniform_rates(self, line3_model):
+        assert line3_model.gate_error("h", (0,)) == 1e-3
+        assert line3_model.gate_error("cx", (0, 1)) == 2e-2
+
+    def test_swap_is_three_cnots(self, line3_model):
+        swap_err = line3_model.gate_error("swap", (0, 1))
+        assert np.isclose(1.0 - swap_err, (1.0 - 2e-2) ** 3)
+
+    def test_unknown_edge_raises(self, line3_model):
+        with pytest.raises(ValueError):
+            line3_model.gate_error("cx", (0, 2))
+
+    def test_calibrated_is_seeded_and_spread(self):
+        cmap = melbourne()
+        a = NoiseModel.calibrated(cmap, seed=3)
+        b = NoiseModel.calibrated(cmap, seed=3)
+        assert a.two_qubit_error == b.two_qubit_error
+        rates = list(a.two_qubit_error.values())
+        assert max(rates) > min(rates)
+
+    def test_edge_error_map(self, line3_model):
+        assert set(line3_model.edge_error_map()) == {(0, 1), (1, 2)}
+
+
+class TestESP:
+    def test_empty_circuit(self, line3_model):
+        assert esp(QuantumCircuit(3), line3_model) == 1.0
+
+    def test_esp_decreases_with_gates(self, line3_model):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        one = esp(qc, line3_model)
+        qc.cx(1, 2)
+        two = esp(qc, line3_model)
+        assert two < one < 1.0
+
+    def test_readout_factor(self, line3_model):
+        qc = QuantumCircuit(3)
+        with_readout = esp(qc, line3_model, measured_qubits=[0, 1])
+        assert np.isclose(with_readout, (1 - 3e-2) ** 2)
+
+
+class TestSampler:
+    def test_noiseless_limit_matches_ideal(self):
+        cmap = linear(2)
+        model = NoiseModel.uniform(cmap, single_qubit=0.0, two_qubit=0.0, readout=0.0)
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        noisy = noisy_probabilities(qc, model, trajectories=5)
+        ideal = ideal_probabilities(qc)
+        assert np.allclose(noisy, ideal)
+
+    def test_noise_spreads_distribution(self):
+        cmap = linear(2)
+        model = NoiseModel.uniform(cmap, single_qubit=0.05, two_qubit=0.2, readout=0.0)
+        qc = QuantumCircuit(2)
+        qc.x(0).cx(0, 1)  # ideal output |11>
+        noisy = noisy_probabilities(qc, model, trajectories=400, seed=5)
+        assert noisy[3] < 1.0
+        assert np.isclose(noisy.sum(), 1.0)
+
+    def test_readout_channel_mixes(self):
+        cmap = linear(1)
+        model = NoiseModel.uniform(cmap, single_qubit=0.0, two_qubit=0.0, readout=0.25)
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        probs = noisy_probabilities(qc, model, trajectories=3, measured_qubits=[0])
+        assert np.allclose(probs, [0.25, 0.75])
+
+    def test_success_probability(self):
+        probs = np.array([0.1, 0.2, 0.3, 0.4])
+        assert np.isclose(success_probability(probs, [1, 3]), 0.6)
+
+
+class TestQAOAStudy:
+    @pytest.fixture
+    def square(self):
+        return nx.Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_logical_circuit_structure(self, square):
+        qc = qaoa_logical_circuit(square, 0.5, 0.3)
+        ops = qc.count_ops()
+        assert ops["h"] == 4
+        assert ops["rx"] == 4
+        assert ops["rz"] == 4  # one per edge
+
+    def test_optimize_parameters_beats_random_guess(self, square):
+        gamma, beta, score = optimize_parameters(square, resolution=5)
+        # The square's optimal cut (alternating) should be strongly amplified.
+        uniform = 2 / 16  # two optimal assignments out of 16
+        assert score > uniform
+
+    def test_full_circuit_runs_both_methods(self, square):
+        cmap = ring(4)
+        model = NoiseModel.uniform(cmap)
+        for method in ("baseline", "ph"):
+            run = build_full_circuit(square, 0.4, 0.3, cmap, model, method)
+            assert run.circuit.num_qubits == 4
+            assert set(run.measured) == {0, 1, 2, 3}
+
+    def test_unknown_method(self, square):
+        with pytest.raises(ValueError):
+            build_full_circuit(square, 0.4, 0.3, ring(4), None, "magic")
+
+    def test_evaluate_returns_metrics(self, square):
+        cmap = ring(4)
+        model = NoiseModel.uniform(cmap)
+        run = build_full_circuit(square, 0.4, 0.3, cmap, model, "ph")
+        metrics = evaluate_qaoa(run, square, model, trajectories=30)
+        assert 0.0 <= metrics["rsp"] <= 1.0
+        assert 0.0 < metrics["esp"] <= 1.0
+        assert metrics["ideal_success"] > 0.0
+
+    def test_noisy_success_below_ideal(self, square):
+        cmap = ring(4)
+        model = NoiseModel.uniform(cmap, single_qubit=5e-3, two_qubit=5e-2, readout=5e-2)
+        run = build_full_circuit(square, *optimize_parameters(square, 4)[:2], cmap, model, "ph")
+        metrics = evaluate_qaoa(run, square, model, trajectories=80)
+        assert metrics["rsp"] < metrics["ideal_success"]
+
+    def test_study_end_to_end_small(self, square):
+        cmap = ring(4)
+        model = NoiseModel.uniform(cmap)
+        results = qaoa_study(square, cmap, model, resolution=3, trajectories=20)
+        assert set(results) == {"baseline", "ph", "improvement"}
+        assert results["improvement"]["esp"] > 0

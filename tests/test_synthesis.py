@@ -1,0 +1,164 @@
+"""Correctness tests for Pauli-rotation synthesis (paper Figure 2)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import circuit_unitary, equivalent_up_to_global_phase
+from repro.core import (
+    SynthesisPlan,
+    aligned_chain_plan,
+    chain_plan,
+    naive_program_circuit,
+    pauli_evolution_circuit,
+    pauli_rotation_gates,
+)
+from repro.ir import PauliProgram
+from repro.pauli import PauliString
+
+
+def exact_evolution(label: str, coefficient: float) -> np.ndarray:
+    matrix = PauliString.from_label(label).to_matrix()
+    return scipy.linalg.expm(1j * coefficient * matrix)
+
+
+def check_label(label: str, coefficient: float, plan=None):
+    string = PauliString.from_label(label)
+    circuit = pauli_evolution_circuit(string, coefficient, plan=plan)
+    assert equivalent_up_to_global_phase(
+        circuit_unitary(circuit), exact_evolution(label, coefficient)
+    ), f"synthesis wrong for {label}"
+
+
+class TestSingleStrings:
+    @pytest.mark.parametrize("label", ["Z", "X", "Y"])
+    def test_single_qubit(self, label):
+        check_label(label, 0.37)
+
+    @pytest.mark.parametrize("label", ["ZZ", "XX", "YY", "XY", "ZX", "YZ"])
+    def test_two_qubit(self, label):
+        check_label(label, -0.81)
+
+    @pytest.mark.parametrize("label", ["ZIZ", "XYZ", "YIX", "ZZZ", "IYI"])
+    def test_three_qubit(self, label):
+        check_label(label, 1.23)
+
+    def test_paper_figure2_string(self):
+        # exp(i * Y Z I X Z * theta/2): 5 qubits, support {0,1,3,4}.
+        check_label("YZIXZ", 0.25)
+
+    def test_identity_string_is_empty(self):
+        string = PauliString.identity(3)
+        assert pauli_rotation_gates(string, 0.5) == []
+
+    def test_gate_structure(self):
+        string = PauliString.from_label("YZIXZ")
+        gates = pauli_rotation_gates(string, 0.5)
+        names = [g.name for g in gates]
+        # 2 basis gates, 3 CNOTs, rz, 3 CNOTs, 2 basis gates
+        assert names.count("rz") == 1
+        assert names.count("cx") == 6
+        assert names.count("h") == 2
+        assert names.count("yh") == 2
+
+
+class TestPlans:
+    def test_every_root_choice_is_correct(self):
+        string = PauliString.from_label("XYZZ")
+        for root in string.support:
+            plan = chain_plan(string.support, root=root)
+            check_label("XYZZ", 0.4, plan=plan)
+
+    def test_every_chain_permutation_is_correct(self):
+        import itertools
+        string = PauliString.from_label("ZZY")
+        for order in itertools.permutations(string.support):
+            plan = chain_plan(order)
+            check_label("ZZY", -0.6, plan=plan)
+
+    def test_tree_plan(self):
+        # Star tree: 0 and 1 both feed 3, then 3 feeds 4 (paper Fig. 2 (2)).
+        string = PauliString.from_label("YZIXZ")
+        plan = SynthesisPlan([(0, 3), (1, 3), (3, 4)], root=4)
+        check_label("YZIXZ", 0.9, plan=plan)
+
+    def test_plan_validation_wrong_support(self):
+        string = PauliString.from_label("ZZ")
+        plan = chain_plan([0, 1, 2])
+        with pytest.raises(ValueError):
+            pauli_rotation_gates(string, 0.1, plan)
+
+    def test_plan_root_must_be_last_target(self):
+        with pytest.raises(ValueError):
+            SynthesisPlan([(0, 1)], root=0)
+
+    def test_chain_plan_root_not_in_support(self):
+        with pytest.raises(ValueError):
+            chain_plan([0, 1], root=5)
+
+
+class TestAlignedPlans:
+    def test_shared_qubits_lead_the_chain(self):
+        a = PauliString.from_label("ZZY")
+        b = PauliString.from_label("ZZI")
+        plan = aligned_chain_plan(a, b)
+        # shared support {1, 2} must come before the unshared qubit 0
+        first_controls = [plan.edges[0][0], plan.edges[0][1]]
+        assert set(first_controls) <= {1, 2}
+        check_label("ZZY", 0.3, plan=plan)
+
+    def test_no_neighbor_falls_back_to_default(self):
+        a = PauliString.from_label("XYZ")
+        plan = aligned_chain_plan(a, None)
+        assert plan.root == 2
+
+    def test_paper_fig4a_cancellation(self):
+        """ZZY then ZZI with aligned plans cancels 2 CNOTs (Figure 4a)."""
+        from repro.circuit import QuantumCircuit
+        from repro.transpile import optimize
+
+        a = PauliString.from_label("ZZY")
+        b = PauliString.from_label("ZZI")
+        naive = QuantumCircuit(3)
+        naive.extend(pauli_rotation_gates(a, 0.4, chain_plan(a.support)))
+        naive.extend(pauli_rotation_gates(b, 0.8, chain_plan(b.support)))
+        aligned = QuantumCircuit(3)
+        aligned.extend(pauli_rotation_gates(a, 0.4, aligned_chain_plan(a, b)))
+        aligned.extend(pauli_rotation_gates(b, 0.8, aligned_chain_plan(b, a)))
+
+        naive_opt = optimize(naive)
+        aligned_opt = optimize(aligned)
+        assert aligned_opt.count_ops().get("cx", 0) <= naive_opt.count_ops().get("cx", 0) - 2
+        # Semantics identical either way.
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(aligned_opt), circuit_unitary(naive)
+        )
+
+
+class TestProgramSynthesis:
+    def test_naive_program_circuit_semantics(self):
+        prog = PauliProgram.from_hamiltonian(
+            [("ZZ", 0.5), ("XI", -0.3)], parameter=0.7
+        )
+        circuit = naive_program_circuit(prog)
+        expected = (
+            exact_evolution("XI", -0.3 * 0.7) @ exact_evolution("ZZ", 0.5 * 0.7)
+        )
+        assert equivalent_up_to_global_phase(circuit_unitary(circuit), expected)
+
+    def test_identity_terms_skipped(self):
+        prog = PauliProgram.from_hamiltonian([("II", 5.0), ("ZZ", 1.0)])
+        circuit = naive_program_circuit(prog)
+        assert all(g.name != "rz" or g.qubits[0] in (0, 1) for g in circuit)
+        assert circuit.count_ops()["rz"] == 1
+
+
+@given(
+    st.text(alphabet="IXYZ", min_size=1, max_size=5).filter(lambda s: set(s) != {"I"}),
+    st.floats(-2.0, 2.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_synthesis_matches_expm_property(label, coefficient):
+    check_label(label, coefficient)

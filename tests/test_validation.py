@@ -1,0 +1,70 @@
+"""Tests for Pauli IR static validation."""
+
+import pytest
+
+from repro.ir import PauliBlock, PauliProgram
+from repro.ir.validation import Diagnostic, validate_program
+
+
+def program_of(*blocks):
+    return PauliProgram(list(blocks))
+
+
+class TestValidateProgram:
+    def test_clean_program_ok(self):
+        report = validate_program(program_of(PauliBlock(["ZZ", "XX"], 0.5)))
+        assert report.ok
+        assert not report.diagnostics
+        assert str(report) == "program OK"
+
+    def test_identity_only_block_is_error(self):
+        report = validate_program(program_of(PauliBlock(["II"], 0.5)))
+        assert not report.ok
+        assert "identity" in report.errors[0].message
+
+    def test_zero_weight_is_error(self):
+        report = validate_program(program_of(PauliBlock([("ZZ", 0.0)], 0.5)))
+        assert not report.ok
+        assert "zero weight" in report.errors[0].message
+
+    def test_duplicate_strings_warn(self):
+        report = validate_program(program_of(PauliBlock(["ZZ", "ZZ"], 0.5)))
+        assert report.ok
+        assert any("duplicate" in d.message for d in report.warnings)
+
+    def test_noncommuting_block_warns(self):
+        report = validate_program(program_of(PauliBlock(["XI", "ZI"], 0.5)))
+        assert report.ok
+        assert any("commute" in d.message for d in report.warnings)
+
+    def test_zero_parameter_warns(self):
+        report = validate_program(program_of(PauliBlock(["ZZ"], 0.0)))
+        assert any("parameter is zero" in d.message for d in report.warnings)
+
+    def test_raise_on_error(self):
+        report = validate_program(program_of(PauliBlock(["II"], 1.0)))
+        with pytest.raises(ValueError):
+            report.raise_on_error()
+
+    def test_diagnostic_str(self):
+        d = Diagnostic("warning", 3, "something")
+        assert "block 3" in str(d)
+        assert "warning" in str(d)
+
+    def test_workload_generators_emit_clean_programs(self):
+        from repro.workloads import (
+            build_benchmark,
+            heisenberg_program,
+            ising_program,
+            uccsd_program,
+        )
+        for program in (
+            uccsd_program(8),
+            ising_program([8]),
+            heisenberg_program([3, 3]),
+            build_benchmark("REG-20-4", "small"),
+            build_benchmark("TSP-4", "small"),
+            build_benchmark("N2", "small"),
+        ):
+            report = validate_program(program)
+            assert report.ok, f"{program.name}: {report}"
