@@ -1,0 +1,166 @@
+"""Micro-benchmark: vectorized symplectic kernels vs the scalar seed code.
+
+Compares the shipped ``do_schedule`` / ``most_overlap_sort`` (running on the
+packed :class:`~repro.pauli.symplectic.PauliTable` and cached
+:class:`~repro.ir.BlockView` masks) against faithful copies of the original
+per-byte scalar implementations, on the paper-scale UCCSD-8 and REG-20-4
+workloads.  Equality of the outputs is asserted before timing, and the
+pairwise-consistent junction planner is checked for CNOT non-regression
+against the legacy one-sided planner on the Table 2 FT configurations.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI gate
+
+Exit status is non-zero when the smoke thresholds fail, so CI can use it
+as a perf sanity check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import ft_compile
+from repro.core.ft_backend import most_overlap_sort
+from repro.core.reference import scalar_do_schedule, scalar_most_overlap_sort
+from repro.core.scheduling import do_schedule
+from repro.ir import PauliProgram
+from repro.pauli import PauliString
+from repro.workloads import build_benchmark
+
+WORKLOADS = ("UCCSD-8", "REG-20-4")
+TABLE2_FT = ("Ising-1D", "Ising-2D", "Heisen-1D", "Heisen-2D", "N2", "Rand-30")
+
+
+# ----------------------------------------------------------------------
+# Harness (the scalar oracle lives in repro.core.reference, shared with
+# the equivalence tests so the two cannot drift)
+# ----------------------------------------------------------------------
+
+def _time(fn, repeats: int) -> float:
+    fn()  # warm up caches and allocator
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def _schedule_signature(schedule) -> List[List[Tuple[str, ...]]]:
+    return [
+        [tuple(ws.string.label for ws in block) for block in layer]
+        for layer in schedule
+    ]
+
+
+def _program_terms(program: PauliProgram) -> List[Tuple[PauliString, float]]:
+    return [
+        (ws.string, ws.weight * parameter)
+        for ws, parameter in program.all_weighted_strings()
+    ]
+
+
+def bench_kernels(repeats: int) -> List[Dict]:
+    rows = []
+    for name in WORKLOADS:
+        program = build_benchmark(name, "paper")
+        terms = _program_terms(program)
+
+        assert _schedule_signature(do_schedule(program)) == _schedule_signature(
+            scalar_do_schedule(program)
+        ), f"do_schedule output diverged from the scalar reference on {name}"
+        assert [s.label for s, _ in most_overlap_sort(terms)] == [
+            s.label for s, _ in scalar_most_overlap_sort(terms)
+        ], f"most_overlap_sort output diverged from the scalar reference on {name}"
+
+        scalar = _time(lambda: scalar_do_schedule(program), repeats)
+        vector = _time(lambda: do_schedule(program), repeats)
+        rows.append(
+            {"workload": name, "kernel": "do_schedule",
+             "scalar_ms": scalar * 1e3, "vector_ms": vector * 1e3,
+             "speedup": scalar / vector}
+        )
+        scalar = _time(lambda: scalar_most_overlap_sort(terms), repeats)
+        vector = _time(lambda: most_overlap_sort(terms), repeats)
+        rows.append(
+            {"workload": name, "kernel": "most_overlap_sort",
+             "scalar_ms": scalar * 1e3, "vector_ms": vector * 1e3,
+             "speedup": scalar / vector}
+        )
+    return rows
+
+
+def check_junction_planner(names: Sequence[str]) -> List[Dict]:
+    """Paired junction planning must never cost CNOTs vs the old one-sided
+    rule on the Table 2 FT configurations (same schedule, same terms)."""
+    rows = []
+    for name in names:
+        program = build_benchmark(name, "small")
+        for scheduler in ("do", "gco"):
+            paired = ft_compile(
+                program, scheduler=scheduler, junction_policy="paired"
+            ).circuit.cnot_count
+            onesided = ft_compile(
+                program, scheduler=scheduler, junction_policy="onesided"
+            ).circuit.cnot_count
+            rows.append(
+                {"workload": name, "scheduler": scheduler,
+                 "paired_cnot": paired, "onesided_cnot": onesided}
+            )
+            assert paired <= onesided, (
+                f"paired planner regressed CNOTs on {name}/{scheduler}: "
+                f"{paired} > {onesided}"
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI mode: fewer repeats, a 2x speedup floor, and the "
+             "junction check on two benchmarks",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (10 if args.smoke else 50)
+    floor = 2.0 if args.smoke else 5.0
+
+    rows = bench_kernels(repeats)
+    print(f"{'workload':<12} {'kernel':<18} {'scalar':>10} {'vectorized':>10} {'speedup':>8}")
+    for row in rows:
+        print(
+            f"{row['workload']:<12} {row['kernel']:<18} "
+            f"{row['scalar_ms']:>8.3f}ms {row['vector_ms']:>8.3f}ms "
+            f"{row['speedup']:>7.1f}x"
+        )
+
+    junction_names = TABLE2_FT[:2] if args.smoke else TABLE2_FT
+    junction_rows = check_junction_planner(junction_names)
+    print()
+    print(f"{'workload':<12} {'scheduler':<10} {'paired cx':>10} {'one-sided cx':>13}")
+    for row in junction_rows:
+        print(
+            f"{row['workload']:<12} {row['scheduler']:<10} "
+            f"{row['paired_cnot']:>10} {row['onesided_cnot']:>13}"
+        )
+
+    failures = [row for row in rows if row["speedup"] < floor]
+    if failures:
+        for row in failures:
+            print(
+                f"FAIL: {row['workload']}/{row['kernel']} speedup "
+                f"{row['speedup']:.1f}x below the {floor:.0f}x floor",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nall kernels >= {floor:.0f}x; junction planner never regressed CNOTs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,8 +16,9 @@ from ..core import compile_program, ft_compile, sc_compile
 from ..core.synthesis import naive_program_circuit
 from ..ir import PauliProgram
 from ..noise import NoiseModel, qaoa_study
+from ..pauli.symplectic import PauliTable
 from ..transpile import CouplingMap, manhattan_65, melbourne, route, transpile
-from ..workloads import BENCHMARKS, build_benchmark, naive_gate_counts
+from ..workloads import BENCHMARKS, build_benchmark, naive_gate_counts_from_table
 from .metrics import circuit_metrics, percent_change
 
 __all__ = [
@@ -36,12 +37,18 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 def table1_inventory(names: Optional[Sequence[str]] = None, scale: str = "small") -> List[Dict]:
-    """Qubits, string count, and naive gate counts per benchmark."""
+    """Qubits, string count, naive gate counts, and weight statistics per
+    benchmark.  Gate counts and weights come from the batch symplectic
+    kernels, so the driver stays cheap even at paper scale."""
     rows = []
     for name in names or list(BENCHMARKS):
         spec = BENCHMARKS[name]
         program = spec.build(scale)
-        cnots, singles = naive_gate_counts(program)
+        table = PauliTable.from_strings(
+            ws.string for ws, _ in program.all_weighted_strings()
+        )
+        cnots, singles = naive_gate_counts_from_table(table)
+        weights = table.weights()
         rows.append(
             {
                 "name": name,
@@ -51,6 +58,8 @@ def table1_inventory(names: Optional[Sequence[str]] = None, scale: str = "small"
                 "paulis": program.num_strings,
                 "naive_cnot": cnots,
                 "naive_single": singles,
+                "mean_weight": float(weights.mean()),
+                "max_weight": int(weights.max()),
             }
         )
     return rows

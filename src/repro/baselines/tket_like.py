@@ -29,6 +29,7 @@ from typing import List, Sequence, Tuple
 from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
 from ..pauli import PauliString
+from ..pauli.symplectic import PauliTable
 from .tableau import TrackedPauli, simultaneous_diagonalize
 
 __all__ = ["partition_commuting", "diagonal_rotation_gates", "tk_compile", "TKResult"]
@@ -49,18 +50,25 @@ class TKResult:
 def partition_commuting(
     terms: Sequence[Tuple[PauliString, float]],
 ) -> List[List[Tuple[PauliString, float]]]:
-    """Greedy partition into mutually-commuting sets, preserving order."""
-    sets: List[List[Tuple[PauliString, float]]] = []
-    for string, coefficient in terms:
-        placed = False
-        for group in sets:
-            if all(string.commutes_with(other) for other, _ in group):
-                group.append((string, coefficient))
-                placed = True
+    """Greedy partition into mutually-commuting sets, preserving order.
+
+    Commutation against each candidate set is checked on the batch
+    symplectic kernel: one vectorized row per term against all earlier
+    terms, instead of scalar ``commutes_with`` per pair.
+    """
+    if not terms:
+        return []
+    table = PauliTable.from_strings([string for string, _ in terms])
+    groups: List[List[int]] = []
+    for i in range(len(terms)):
+        commutes = table.commutes(i)
+        for group in groups:
+            if commutes[group].all():
+                group.append(i)
                 break
-        if not placed:
-            sets.append([(string, coefficient)])
-    return sets
+        else:
+            groups.append([i])
+    return [[terms[i] for i in group] for group in groups]
 
 
 def diagonal_rotation_gates(

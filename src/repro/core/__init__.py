@@ -7,7 +7,13 @@ from .controlled import (
     controlled_program_circuit,
     controlled_rz_gates,
 )
-from .ft_backend import FTResult, ft_compile, ft_synthesize, most_overlap_sort
+from .ft_backend import (
+    FTResult,
+    ft_compile,
+    ft_synthesize,
+    most_overlap_sort,
+    plan_junctions,
+)
 from .passes import PassPipeline, PipelineResult, ft_pipeline, sc_pipeline
 from .sc_backend import EmbeddedTree, SCResult, SCSynthesizer, sc_compile
 from .trotter import (
@@ -60,6 +66,7 @@ __all__ = [
     "naive_program_circuit",
     "pauli_evolution_circuit",
     "pauli_rotation_gates",
+    "plan_junctions",
     "sc_pipeline",
     "schedule_depth_estimate",
     "schedule_to_program",

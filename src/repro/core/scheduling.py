@@ -15,16 +15,26 @@ blocks that execute in parallel with it.
   block with the most operator overlap with the previous layer and padding
   with disjoint small blocks whose accumulated depth fits under the primary.
 
-Both are semantics-preserving by the Pauli IR's commutative-sum semantics;
-:func:`schedule_to_program` flattens a schedule back to a program so the
-invariant can be checked (``multiset_of_terms`` is preserved).
+The hot loop runs on the blocks' cached :class:`~repro.ir.BlockView` masks:
+every candidate's overlap against the previous layer is one vectorized
+popcount over pre-stacked operator-profile matrices, and the padding loop
+compares packed support masks instead of rebuilding qubit sets, so a layer
+costs O(remaining) mask operations rather than O(remaining x strings x
+weight) Python rescans.
+
+Both passes are semantics-preserving by the Pauli IR's commutative-sum
+semantics; :func:`schedule_to_program` flattens a schedule back to a program
+so the invariant can be checked (``multiset_of_terms`` is preserved).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from ..ir import PauliBlock, PauliProgram
+from ..pauli.symplectic import popcount
 
 __all__ = [
     "Schedule",
@@ -57,26 +67,20 @@ def schedule_to_program(schedule: Schedule, name: str = "") -> PauliProgram:
 # Depth-oriented scheduling (Algorithm 1)
 # ----------------------------------------------------------------------
 
-def _operator_profile(blocks: Sequence[PauliBlock]) -> Dict[int, set]:
-    """Per-qubit set of non-identity operator labels appearing in ``blocks``."""
-    profile: Dict[int, set] = {}
-    for block in blocks:
-        for ws in block:
-            for qubit in ws.string.support:
-                profile.setdefault(qubit, set()).add(ws.string[qubit])
+def _layer_profile(layer: Sequence[PauliBlock]) -> np.ndarray:
+    """Accumulated packed operator profile of a layer (OR of block profiles)."""
+    profile = layer[0].view.op_profile.copy()
+    for block in layer[1:]:
+        profile |= block.view.op_profile
     return profile
 
 
 def layer_operator_overlap(block: PauliBlock, layer: Sequence[PauliBlock]) -> int:
     """Number of qubits where ``block`` and ``layer`` share an identical
     non-identity operator (the Overlap() of Algorithm 1 line 5)."""
-    block_profile = _operator_profile([block])
-    layer_profile = _operator_profile(layer)
-    return sum(
-        1
-        for qubit, labels in block_profile.items()
-        if labels & layer_profile.get(qubit, set())
-    )
+    if not layer:
+        return 0
+    return block.view.operator_overlap(_layer_profile(layer))
 
 
 def do_schedule(program: PauliProgram) -> Schedule:
@@ -89,37 +93,56 @@ def do_schedule(program: PauliProgram) -> Schedule:
     remaining = [block.sorted_lexicographically() for block in program]
     remaining.sort(key=lambda b: (-b.active_length, b.lex_key()))
 
+    views = [block.view for block in remaining]
+    profiles = np.stack([view.op_profile for view in views])     # (m, 3, nb)
+    supports = np.stack([view.support_mask for view in views])   # (m, nb)
+    depths = np.array([view.depth_estimate for view in views])
+    lengths = np.array([view.active_length for view in views])
+    alive = np.ones(len(remaining), dtype=bool)
+
     layers: Schedule = []
-    while remaining:
-        if layers:
-            primary = max(
-                remaining,
-                key=lambda b: (layer_operator_overlap(b, layers[-1]), b.active_length),
+    layer_profile: np.ndarray = None
+    while alive.any():
+        idxs = np.nonzero(alive)[0]
+        if layer_profile is not None:
+            # Overlap of every remaining block with the previous layer in
+            # one shot: per-operator AND against the accumulated profile,
+            # OR across operators, popcount per row.
+            overlaps = popcount(
+                np.bitwise_or.reduce(profiles[idxs] & layer_profile, axis=1)
             )
+            # First maximum in remaining order, ties broken by active
+            # length — the same selection max() made over the scalar list.
+            best = max(
+                range(len(idxs)), key=lambda k: (overlaps[k], lengths[idxs[k]])
+            )
+            primary = int(idxs[best])
         else:
-            primary = remaining[0]
-        remaining.remove(primary)
-        layer = [primary]
-        primary_depth = primary.depth_estimate()
-        primary_qubits = set(primary.active_qubits)
+            primary = int(idxs[0])
+        alive[primary] = False
+        layer = [remaining[primary]]
+        layer_profile = profiles[primary].copy()
+        primary_depth = int(depths[primary])
+        primary_support = supports[primary]
         column_height: Dict[int, int] = {}
 
-        padded = True
-        while padded:
-            padded = False
-            for candidate in list(remaining):
-                qubits = set(candidate.active_qubits)
-                if qubits & primary_qubits:
-                    continue
-                depth = candidate.depth_estimate()
-                start = max((column_height.get(q, 0) for q in qubits), default=0)
-                if start + depth > primary_depth:
-                    continue
-                layer.append(candidate)
-                remaining.remove(candidate)
-                for q in qubits:
-                    column_height[q] = start + depth
-                padded = True
+        # Candidates that share no qubit with the primary, in remaining
+        # order.  A single in-order pass suffices: column heights only ever
+        # grow, so a block that does not fit now can never fit later.
+        idxs = np.nonzero(alive)[0]
+        disjoint = ~np.bitwise_and(supports[idxs], primary_support).any(axis=1)
+        for candidate in idxs[disjoint]:
+            candidate = int(candidate)
+            qubits = views[candidate].active_qubits
+            depth = int(depths[candidate])
+            start = max((column_height.get(q, 0) for q in qubits), default=0)
+            if start + depth > primary_depth:
+                continue
+            layer.append(remaining[candidate])
+            alive[candidate] = False
+            layer_profile |= profiles[candidate]
+            for q in qubits:
+                column_height[q] = start + depth
         layers.append(layer)
     return layers
 

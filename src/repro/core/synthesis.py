@@ -83,6 +83,7 @@ def chain_plan(support: Sequence[int], root: Optional[int] = None) -> SynthesisP
 def aligned_chain_plan(
     string: PauliString,
     neighbor: Optional[PauliString] = None,
+    secondary: Optional[PauliString] = None,
 ) -> SynthesisPlan:
     """Chain plan that maximizes junction cancellation with ``neighbor``.
 
@@ -91,13 +92,27 @@ def aligned_chain_plan(
     order; the remaining support follows, also ascending.  Two adjacent
     strings planned against each other therefore open/close with identical
     gate prefixes, which the peephole pass cancels (paper Figure 4a).
+
+    ``secondary`` (the string's other neighbour, when it has two) only
+    orders the *remaining* support: qubits it shares come right after the
+    ``neighbor``-shared prefix.  That cannot disturb the primary junction —
+    the common prefix is untouched — but when the secondary's shared set
+    nests inside the primary's, the other junction picks up the same
+    cancellations for free.
     """
     support = list(string.support)
-    if neighbor is None:
+    if neighbor is None and secondary is None:
         return chain_plan(support)
-    shared = set(string.shared_support(neighbor))
-    order = sorted(q for q in support if q in shared) + sorted(
-        q for q in support if q not in shared
+    shared = set(string.shared_support(neighbor)) if neighbor is not None else set()
+    shared2 = (
+        set(string.shared_support(secondary)) - shared
+        if secondary is not None
+        else set()
+    )
+    order = (
+        sorted(q for q in support if q in shared)
+        + sorted(q for q in support if q in shared2)
+        + sorted(q for q in support if q not in shared and q not in shared2)
     )
     return chain_plan(order)
 

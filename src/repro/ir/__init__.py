@@ -1,11 +1,12 @@
 """Pauli IR: block-structured intermediate representation (paper Section 3)."""
 
-from .blocks import PauliBlock, WeightedString
+from .blocks import BlockView, PauliBlock, WeightedString
 from .parser import format_program, parse_program
 from .program import PauliProgram
 from .validation import Diagnostic, ValidationReport, validate_program
 
 __all__ = [
+    "BlockView",
     "PauliBlock",
     "PauliProgram",
     "WeightedString",

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
-from ..pauli import PauliString
+import numpy as np
 
-__all__ = ["WeightedString", "PauliBlock"]
+from ..pauli import PauliString
+from ..pauli.symplectic import PauliTable, popcount
+
+__all__ = ["WeightedString", "PauliBlock", "BlockView"]
 
 
 class WeightedString:
@@ -49,6 +52,79 @@ class WeightedString:
         return f"WeightedString({self.string.label!r}, {self.weight!r})"
 
 
+class BlockView:
+    """Memoized symplectic view of one block (built lazily, kept for life).
+
+    The schedulers and synthesis passes interrogate the same block-level
+    facts over and over — support masks, per-qubit operator profiles, depth
+    estimates — and recomputing them from the scalar strings on every query
+    is what made scheduling quadratic-to-cubic.  A ``BlockView`` computes
+    them once from the block's :class:`~repro.pauli.symplectic.PauliTable`
+    and caches the results as packed bit masks ready for batch arithmetic.
+
+    Attributes
+    ----------
+    table:
+        The block's strings as a :class:`PauliTable`.
+    support_mask:
+        Packed ``uint8`` vector; bit set where any string is non-identity.
+    op_profile:
+        ``(3, nbytes)`` packed presence masks, one row per operator
+        (``X``, ``Z``, ``Y``): bit ``q`` of row ``k`` is set when some
+        string carries that operator on qubit ``q``.  The operator overlap
+        of two profiles is ``popcount(OR_k(a[k] & b[k]))``.
+    active_qubits, active_length, core_qubits, depth_estimate:
+        Cached values of the like-named :class:`PauliBlock` queries.
+    """
+
+    __slots__ = (
+        "table",
+        "support_mask",
+        "op_profile",
+        "active_qubits",
+        "active_length",
+        "core_qubits",
+        "depth_estimate",
+        "lex_order",
+        "lex_key",
+    )
+
+    def __init__(self, block: "PauliBlock"):
+        table = PauliTable.from_strings(block.pauli_strings)
+        self.table = table
+        self.lex_order = table.lex_argsort()
+        self.lex_key = tuple(int(r) for r in table.lex_ranks()[self.lex_order[0]])
+        supports = table.support_masks()
+        self.support_mask = np.bitwise_or.reduce(supports, axis=0)
+        self.op_profile = np.stack(
+            [
+                np.bitwise_or.reduce(table.x & ~table.z, axis=0),  # X
+                np.bitwise_or.reduce(table.z & ~table.x, axis=0),  # Z
+                np.bitwise_or.reduce(table.x & table.z, axis=0),   # Y
+            ]
+        )
+        self.active_qubits = _mask_to_qubits(self.support_mask, table.num_qubits)
+        self.active_length = len(self.active_qubits)
+        self.core_qubits = _mask_to_qubits(
+            np.bitwise_and.reduce(supports, axis=0), table.num_qubits
+        )
+        weights = table.weights()
+        active = weights > 0
+        self.depth_estimate = int((2 * (weights[active] - 1) + 1).sum())
+
+    def operator_overlap(self, other_profile: np.ndarray) -> int:
+        """Qubits where this block and ``other_profile`` share an identical
+        non-identity operator (the Overlap() of Algorithm 1)."""
+        return int(
+            popcount(np.bitwise_or.reduce(self.op_profile & other_profile, axis=0))
+        )
+
+
+def _mask_to_qubits(mask: np.ndarray, num_qubits: int) -> Tuple[int, ...]:
+    bits = np.unpackbits(mask, bitorder="little", count=num_qubits)
+    return tuple(int(q) for q in np.nonzero(bits)[0])
+
+
 class PauliBlock:
     """A list of weighted Pauli strings sharing a single real parameter.
 
@@ -64,7 +140,7 @@ class PauliBlock:
         Optional human-readable tag used in reports.
     """
 
-    __slots__ = ("_strings", "parameter", "name")
+    __slots__ = ("_strings", "parameter", "name", "_view", "_sorted")
 
     def __init__(
         self,
@@ -87,6 +163,8 @@ class PauliBlock:
         self._strings = normalized
         self.parameter = float(parameter)
         self.name = name
+        self._view: "BlockView" = None
+        self._sorted: "PauliBlock" = None
 
     @staticmethod
     def _normalize(entry) -> WeightedString:
@@ -122,36 +200,32 @@ class PauliBlock:
         return len(self._strings)
 
     @property
+    def view(self) -> "BlockView":
+        """The block's memoized symplectic view (built on first access)."""
+        if self._view is None:
+            self._view = BlockView(self)
+        return self._view
+
+    @property
     def active_qubits(self) -> Tuple[int, ...]:
         """Qubits with a non-identity operator in at least one string."""
-        active = set()
-        for ws in self._strings:
-            active.update(ws.string.support)
-        return tuple(sorted(active))
+        return self.view.active_qubits
 
     @property
     def active_length(self) -> int:
         """Paper's over-approximation of block footprint (Section 4.2)."""
-        return len(self.active_qubits)
+        return self.view.active_length
 
     @property
     def core_qubits(self) -> Tuple[int, ...]:
         """Qubits with a non-identity operator in *all* strings (Section 5.2)."""
-        core = set(self._strings[0].string.support)
-        for ws in self._strings[1:]:
-            core &= set(ws.string.support)
-        return tuple(sorted(core))
+        return self.view.core_qubits
 
     def depth_estimate(self) -> int:
         """Cheap per-block depth estimate used by the DO scheduler padding
         loop: the dominant cost of a string of weight ``w`` is its two CNOT
         trees, ``2 * (w - 1)`` CNOT levels, plus the central rotation."""
-        total = 0
-        for ws in self._strings:
-            w = ws.string.weight
-            if w > 0:
-                total += 2 * (w - 1) + 1
-        return total
+        return self.view.depth_estimate
 
     def is_mutually_commuting(self) -> bool:
         """True if every pair of strings in the block commutes."""
@@ -171,18 +245,33 @@ class PauliBlock:
     # immutable once inside a program)
     # ------------------------------------------------------------------
     def sorted_lexicographically(self) -> "PauliBlock":
-        """Sort strings inside the block by the paper's lexicographic key."""
-        ordered = sorted(self._strings, key=lambda ws: ws.string.lex_key())
-        return PauliBlock(ordered, self.parameter, self.name)
+        """Sort strings inside the block by the paper's lexicographic key.
+
+        The result is cached (blocks are immutable), so schedulers that
+        re-sort the same program reuse one block object and its view."""
+        if self._sorted is None:
+            order = self.view.lex_order
+            if all(int(order[i]) == i for i in range(len(order))):
+                self._sorted = self
+            else:
+                block = PauliBlock(
+                    [self._strings[int(i)] for i in order], self.parameter, self.name
+                )
+                block._sorted = block
+                self._sorted = block
+        return self._sorted
 
     def with_strings(self, strings: Sequence[WeightedString]) -> "PauliBlock":
         return PauliBlock(strings, self.parameter, self.name)
 
     def lex_key(self) -> Tuple[int, ...]:
-        """Block-level lexicographic key: the key of its first string after
-        intra-block sorting (Section 4.1 uses the first string as the block
-        representative)."""
-        return min(ws.string.lex_key() for ws in self._strings)
+        """Block-level lexicographic key: the *minimum* of its strings' keys.
+
+        For a block that has been intra-block sorted this equals the first
+        string's key (Section 4.1 uses the first string as the block
+        representative), but taking ``min`` keeps the key independent of the
+        strings' current order, so unsorted blocks rank identically."""
+        return self.view.lex_key
 
     # ------------------------------------------------------------------
     # Dunder plumbing

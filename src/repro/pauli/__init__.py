@@ -1,7 +1,16 @@
-"""Pauli operator algebra: single-qubit codes and multi-qubit strings."""
+"""Pauli operator algebra: single-qubit codes, multi-qubit strings, and
+packed symplectic batches."""
 
 from .operators import CODE_TO_LABEL, I, LABEL_TO_CODE, LEX_RANK, X, Y, Z
 from .strings import PauliString
+from .symplectic import (
+    PauliTable,
+    batch_commutes,
+    batch_lex_keys,
+    batch_overlap,
+    batch_shared_support,
+    popcount,
+)
 
 __all__ = [
     "CODE_TO_LABEL",
@@ -12,4 +21,10 @@ __all__ = [
     "Y",
     "Z",
     "PauliString",
+    "PauliTable",
+    "batch_commutes",
+    "batch_lex_keys",
+    "batch_overlap",
+    "batch_shared_support",
+    "popcount",
 ]

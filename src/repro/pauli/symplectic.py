@@ -1,0 +1,258 @@
+"""Vectorized symplectic Pauli engine: packed X/Z bit-matrix batches.
+
+A :class:`PauliTable` stores ``m`` Pauli strings on ``n`` qubits as two
+bit-packed ``uint8`` matrices (the symplectic X and Z parts, one bit per
+qubit, packed little-endian so qubit ``i`` is bit ``i % 8`` of byte
+``i // 8``).  All the per-pair queries the compiler's hot loops need —
+operator overlap, commutation, shared support, lexicographic ordering —
+become whole-row bitwise arithmetic plus a popcount lookup table, instead
+of per-byte Python loops over :class:`~repro.pauli.strings.PauliString`.
+
+The scalar :class:`PauliString` methods remain the semantic reference; the
+batch kernels here are their vectorized counterparts:
+
+================================  ====================================
+scalar (``PauliString``)          batch (``PauliTable``)
+================================  ====================================
+``a.overlap(b)``                  ``table.overlaps(i)`` / ``overlap_matrix``
+``a.commutes_with(b)``            ``table.commutes(i)`` / ``commutation_matrix``
+``a.shared_support(b)``           ``table.shared_support(i, j)``
+``a.lex_key()``                   ``table.lex_ranks()`` / ``lex_argsort``
+================================  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from . import operators as ops
+from .strings import PauliString
+
+__all__ = [
+    "PauliTable",
+    "popcount",
+    "batch_overlap",
+    "batch_commutes",
+    "batch_lex_keys",
+    "batch_shared_support",
+]
+
+#: Per-byte set-bit counts; ``_POPCOUNT[a]`` vectorizes over any uint8 array.
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+#: ``LEX_RANK`` as a vectorized lookup table over Pauli codes.
+_LEX_LUT = np.array([ops.LEX_RANK[c] for c in range(4)], dtype=np.uint8)
+
+#: Above this many rows, pairwise matrices are built in row chunks to bound
+#: the intermediate ``(m, m, nbytes)`` broadcast memory.
+_CHUNK_ROWS = 2048
+
+
+def popcount(packed: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Total set bits of a packed ``uint8`` array along ``axis``."""
+    return _POPCOUNT[packed].sum(axis=axis, dtype=np.int64)
+
+
+class PauliTable:
+    """An immutable batch of ``m`` Pauli strings in packed symplectic form.
+
+    Attributes
+    ----------
+    codes:
+        ``(m, n)`` ``uint8`` matrix of raw Pauli codes (column = qubit).
+    x, z:
+        ``(m, ceil(n / 8))`` bit-packed symplectic parts, little-endian
+        bit order (qubit ``i`` lives at bit ``i % 8`` of byte ``i // 8``).
+    """
+
+    __slots__ = ("codes", "x", "z", "num_qubits")
+
+    def __init__(self, codes: np.ndarray):
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        if codes.ndim != 2 or codes.shape[1] == 0:
+            raise ValueError("codes must be a non-empty (m, n) matrix")
+        if codes.size and codes.max() > 3:
+            raise ValueError("Pauli codes must be in 0..3")
+        self.codes = codes
+        self.x = np.packbits(codes & 1, axis=1, bitorder="little")
+        self.z = np.packbits(codes >> 1, axis=1, bitorder="little")
+        self.num_qubits = codes.shape[1]
+
+    # ------------------------------------------------------------------
+    # Constructors / conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, strings: Iterable[PauliString]) -> "PauliTable":
+        """Build from an iterable of :class:`PauliString` (one row each)."""
+        string_list = list(strings)
+        if not string_list:
+            raise ValueError("a PauliTable needs at least one string")
+        n = string_list[0].num_qubits
+        for s in string_list:
+            if s.num_qubits != n:
+                raise ValueError(
+                    f"all strings must act on the same qubit count: "
+                    f"{s.num_qubits} vs {n}"
+                )
+        buffer = b"".join(s.codes for s in string_list)
+        codes = np.frombuffer(buffer, dtype=np.uint8).reshape(len(string_list), n)
+        return cls(codes)
+
+    def to_strings(self) -> List[PauliString]:
+        """Unpack back into scalar :class:`PauliString` objects."""
+        return [PauliString(row.tobytes()) for row in self.codes]
+
+    @property
+    def num_strings(self) -> int:
+        return self.codes.shape[0]
+
+    def __len__(self) -> int:
+        return self.num_strings
+
+    def __getitem__(self, index: int) -> PauliString:
+        return PauliString(self.codes[index].tobytes())
+
+    # ------------------------------------------------------------------
+    # Row-wise reductions
+    # ------------------------------------------------------------------
+    def support_masks(self) -> np.ndarray:
+        """Packed per-row support: bit set where the operator is non-I."""
+        return self.x | self.z
+
+    def weights(self) -> np.ndarray:
+        """Number of non-identity operators per row."""
+        return popcount(self.support_masks())
+
+    def basis_change_counts(self) -> np.ndarray:
+        """Per-row count of X/Y operators (qubits needing basis changes)."""
+        return popcount(self.x)
+
+    # ------------------------------------------------------------------
+    # Batch overlap (gate-cancellation potential)
+    # ------------------------------------------------------------------
+    def overlaps(self, index: int) -> np.ndarray:
+        """Overlap of row ``index`` against every row (``int64`` vector).
+
+        Matches ``self[index].overlap(self[j])`` for every ``j``: the count
+        of qubits where both rows carry the *same* non-identity operator.
+        """
+        xi, zi = self.x[index], self.z[index]
+        same = ~(self.x ^ xi) & ~(self.z ^ zi) & (xi | zi)
+        return popcount(same)
+
+    def overlap_matrix(self) -> np.ndarray:
+        """Full ``(m, m)`` pairwise overlap matrix."""
+        m = self.num_strings
+        if m * m * self.num_qubits <= 1 << 24:
+            # Small batches are numpy-call-overhead bound: a direct code
+            # comparison on the unpacked matrix needs only three ops.
+            eq = self.codes[:, None, :] == self.codes[None, :, :]
+            eq &= (self.codes != 0)[:, None, :]
+            return eq.sum(axis=2, dtype=np.int64)
+        out = np.empty((m, m), dtype=np.int64)
+        support = self.support_masks()
+        for start in range(0, m, _CHUNK_ROWS):
+            stop = min(start + _CHUNK_ROWS, m)
+            same = (
+                ~(self.x[start:stop, None, :] ^ self.x[None, :, :])
+                & ~(self.z[start:stop, None, :] ^ self.z[None, :, :])
+                & support[start:stop, None, :]
+            )
+            out[start:stop] = popcount(same)
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch commutation
+    # ------------------------------------------------------------------
+    def commutes(self, index: int) -> np.ndarray:
+        """Boolean vector: does row ``index`` commute with each row?"""
+        anti = popcount(self.x & self.z[index]) + popcount(self.z & self.x[index])
+        return (anti & 1) == 0
+
+    def commutation_matrix(self) -> np.ndarray:
+        """Full ``(m, m)`` boolean commutation matrix."""
+        m = self.num_strings
+        out = np.empty((m, m), dtype=bool)
+        for i in range(m):
+            out[i] = self.commutes(i)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shared support
+    # ------------------------------------------------------------------
+    def shared_support(self, i: int, j: int) -> Tuple[int, ...]:
+        """Qubits where rows ``i`` and ``j`` carry the same non-I operator."""
+        same = (
+            ~(self.x[i] ^ self.x[j])
+            & ~(self.z[i] ^ self.z[j])
+            & (self.x[i] | self.z[i])
+        )
+        bits = np.unpackbits(same, bitorder="little", count=self.num_qubits)
+        return tuple(int(q) for q in np.nonzero(bits)[0])
+
+    def consecutive_shared_masks(self) -> np.ndarray:
+        """Packed shared-support mask of each adjacent row pair: bit ``q``
+        of row ``j`` is set when rows ``j`` and ``j + 1`` carry the same
+        non-identity operator on qubit ``q``.
+
+        One vectorized sweep replaces ``m - 1`` scalar ``shared_support``
+        calls; the FT junction planner derives its weights from this.
+        """
+        if self.num_strings < 2:
+            return np.zeros((0, self.x.shape[1]), dtype=np.uint8)
+        return (
+            ~(self.x[:-1] ^ self.x[1:])
+            & ~(self.z[:-1] ^ self.z[1:])
+            & (self.x[:-1] | self.z[:-1])
+        )
+
+    def consecutive_overlaps(self) -> np.ndarray:
+        """Overlap of each adjacent row pair: ``out[j] = overlap(j, j + 1)``."""
+        return popcount(self.consecutive_shared_masks())
+
+    # ------------------------------------------------------------------
+    # Lexicographic ordering (paper Section 4.1)
+    # ------------------------------------------------------------------
+    def lex_ranks(self) -> np.ndarray:
+        """``(m, n)`` rank matrix matching ``PauliString.lex_key`` per row:
+        X < Y < Z < I, columns running from the highest qubit down."""
+        return _LEX_LUT[self.codes[:, ::-1]]
+
+    def lex_argsort(self) -> np.ndarray:
+        """Stable argsort of the rows by the paper's lexicographic key."""
+        ranks = self.lex_ranks()
+        # np.lexsort treats the *last* key as primary; the primary key is
+        # the highest qubit, i.e. column 0 of the rank matrix.
+        return np.lexsort(ranks.T[::-1])
+
+
+# ----------------------------------------------------------------------
+# Functional batch counterparts of the PauliString methods
+# ----------------------------------------------------------------------
+
+def _as_table(strings) -> PauliTable:
+    if isinstance(strings, PauliTable):
+        return strings
+    return PauliTable.from_strings(strings)
+
+
+def batch_overlap(strings: Sequence[PauliString]) -> np.ndarray:
+    """Pairwise overlap matrix of a string batch (see ``PauliString.overlap``)."""
+    return _as_table(strings).overlap_matrix()
+
+
+def batch_commutes(strings: Sequence[PauliString]) -> np.ndarray:
+    """Pairwise commutation matrix (see ``PauliString.commutes_with``)."""
+    return _as_table(strings).commutation_matrix()
+
+
+def batch_lex_keys(strings: Sequence[PauliString]) -> np.ndarray:
+    """Row-per-string lexicographic rank matrix (see ``PauliString.lex_key``)."""
+    return _as_table(strings).lex_ranks()
+
+
+def batch_shared_support(strings: Sequence[PauliString], i: int, j: int) -> Tuple[int, ...]:
+    """Shared support of rows ``i`` and ``j`` (see ``PauliString.shared_support``)."""
+    return _as_table(strings).shared_support(i, j)

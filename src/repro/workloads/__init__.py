@@ -18,6 +18,7 @@ from .registry import (
     benchmark_names,
     build_benchmark,
     naive_gate_counts,
+    naive_gate_counts_from_table,
 )
 from .uccsd import uccsd_excitations, uccsd_program
 
@@ -39,6 +40,7 @@ __all__ = [
     "maxcut_value",
     "molecule_program",
     "naive_gate_counts",
+    "naive_gate_counts_from_table",
     "random_graph",
     "random_hamiltonian_program",
     "random_string",

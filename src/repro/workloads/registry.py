@@ -18,13 +18,21 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ir import PauliProgram
+from ..pauli.symplectic import PauliTable
 from .lattices import heisenberg_program, ising_program
 from .molecules import MOLECULE_SPECS, molecule_program
 from .qaoa import maxcut_program, random_graph, regular_graph, tsp_program
 from .random_hamiltonian import random_hamiltonian_program
 from .uccsd import uccsd_program
 
-__all__ = ["BenchmarkSpec", "BENCHMARKS", "build_benchmark", "naive_gate_counts", "benchmark_names"]
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "build_benchmark",
+    "naive_gate_counts",
+    "naive_gate_counts_from_table",
+    "benchmark_names",
+]
 
 
 @dataclass(frozen=True)
@@ -152,15 +160,21 @@ def naive_gate_counts(program: PauliProgram) -> Tuple[int, int]:
     """Table 1's naive (CNOT, single-qubit) counts, computed analytically.
 
     A weight-``w`` string costs ``2 (w - 1)`` CNOTs; single-qubit gates are
-    one ``Rz`` plus two basis-change gates per X/Y operator.
+    one ``Rz`` plus two basis-change gates per X/Y operator.  Both counts
+    come from the batch symplectic kernels (weights are support popcounts,
+    basis changes are X-part popcounts).
     """
-    cnots = 0
-    singles = 0
-    for ws, _ in program.all_weighted_strings():
-        w = ws.string.weight
-        if w == 0:
-            continue
-        cnots += 2 * (w - 1)
-        basis = sum(1 for q in ws.string.support if ws.string[q] in ("X", "Y"))
-        singles += 1 + 2 * basis
+    return naive_gate_counts_from_table(
+        PauliTable.from_strings(
+            ws.string for ws, _ in program.all_weighted_strings()
+        )
+    )
+
+
+def naive_gate_counts_from_table(table: PauliTable) -> Tuple[int, int]:
+    """:func:`naive_gate_counts` on an already-built :class:`PauliTable`."""
+    weights = table.weights()
+    active = weights > 0
+    cnots = int((2 * (weights[active] - 1)).sum())
+    singles = int(active.sum() + 2 * table.basis_change_counts()[active].sum())
     return cnots, singles

@@ -6,9 +6,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuit import circuit_unitary, equivalent_up_to_global_phase
-from repro.core import ft_compile, most_overlap_sort, naive_program_circuit
+from repro.core import (
+    ft_compile,
+    ft_synthesize,
+    most_overlap_sort,
+    naive_program_circuit,
+    plan_junctions,
+)
+from repro.core.ft_backend import _better_neighbor
 from repro.ir import PauliBlock, PauliProgram
 from repro.pauli import PauliString
+from repro.transpile import optimize
+from repro.workloads import build_benchmark
 
 from helpers import terms_unitary
 
@@ -97,6 +106,68 @@ class TestFTEffectiveness:
         assert with_opt.circuit.size <= without.circuit.size
 
 
+class TestJunctionPlanning:
+    def test_zero_overlap_neighbors_align_nothing(self):
+        strings = [PauliString.from_label(s) for s in ("ZZI", "IXX")]
+        # overlap(ZZI, IXX) == 0: neither string should devote its leaf end.
+        assert plan_junctions(strings) == [None, None]
+
+    def test_better_neighbor_rejects_zero_overlap(self):
+        string = PauliString.from_label("ZZI")
+        other = PauliString.from_label("IXX")
+        # A zero-overlap neighbour must not win just because the other side
+        # is missing (the old -1 sentinel made overlap 0 look attractive).
+        assert _better_neighbor(string, None, other) is None
+        assert _better_neighbor(string, other, None) is None
+        assert _better_neighbor(string, None, None) is None
+
+    def test_pairwise_consistent_selection(self):
+        # Shared-Z counts between neighbours are [3, 4, 3], i.e. CNOT
+        # cancellations [4, 6, 4].  The one-sided rule realizes only the
+        # middle junction (both sides pick it), saving 6 CNOTs; the
+        # pairwise planner takes the outer two for 8, mutually aligned.
+        labels = ["ZZZIIIII", "ZZZZZZZI", "IIIZZZZZ", "IIIIIZZZ"]
+        strings = [PauliString.from_label(s) for s in labels]
+        aligned = plan_junctions(strings)
+        assert aligned == [1, 0, 3, 2]
+
+    def test_adjacent_junctions_never_both_selected(self):
+        strings = [PauliString.from_label(s) for s in ("ZZZ", "ZZX", "ZXX", "XXX")]
+        aligned = plan_junctions(strings)
+        for i, k in enumerate(aligned):
+            if k is not None:
+                assert aligned[k] == i, "junction alignment must be mutual"
+
+    def test_paired_beats_onesided_on_staggered_overlaps(self):
+        # Non-nested shared sets [3, 4, 3]: one-sided realizes only the
+        # middle junction (6 CNOTs); paired takes the outer two (8).
+        labels = ["ZZZIIIII", "ZZZZZZZI", "IIIZZZZZ", "IIIIIZZZ"]
+        terms = [(PauliString.from_label(s), 0.3) for s in labels]
+        paired = optimize(ft_synthesize(terms, 8, junction_policy="paired"))
+        onesided = optimize(ft_synthesize(terms, 8, junction_policy="onesided"))
+        assert paired.cnot_count < onesided.cnot_count
+
+    def test_policies_unitary_equivalent(self):
+        labels = ["ZZZIIIII", "ZZZZZZZI", "IIIZZZZZ", "IIIIIZZZ", "YIYIIIII"]
+        terms = [(PauliString.from_label(s), 0.21) for s in labels]
+        expected = terms_unitary(terms, 8)
+        for policy in ("paired", "onesided"):
+            circuit = ft_synthesize(terms, 8, junction_policy=policy)
+            assert equivalent_up_to_global_phase(circuit_unitary(circuit), expected)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ft_synthesize([(PauliString.from_label("Z"), 0.1)], 1, junction_policy="x")
+
+    @pytest.mark.parametrize("name", ["Ising-1D", "Ising-2D", "Heisen-1D", "Heisen-2D"])
+    @pytest.mark.parametrize("scheduler", ["do", "gco"])
+    def test_cnot_never_worse_than_onesided(self, name, scheduler):
+        program = build_benchmark(name, "small")
+        paired = ft_compile(program, scheduler=scheduler, junction_policy="paired")
+        onesided = ft_compile(program, scheduler=scheduler, junction_policy="onesided")
+        assert paired.circuit.cnot_count <= onesided.circuit.cnot_count
+
+
 @given(
     st.lists(
         st.text(alphabet="IXYZ", min_size=3, max_size=3).filter(lambda s: set(s) != {"I"}),
@@ -111,3 +182,19 @@ def test_ft_always_unitary_equivalent(labels, scheduler):
     result = ft_compile(p, scheduler=scheduler)
     expected = terms_unitary(result.emitted_terms, 3)
     assert equivalent_up_to_global_phase(circuit_unitary(result.circuit), expected)
+
+
+@given(
+    st.lists(
+        st.text(alphabet="IXYZ", min_size=4, max_size=4).filter(lambda s: set(s) != {"I"}),
+        min_size=2,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_paired_synthesis_always_unitary_equivalent(labels):
+    terms = [(PauliString.from_label(s), 0.13) for s in labels]
+    circuit = ft_synthesize(terms, 4, junction_policy="paired")
+    assert equivalent_up_to_global_phase(
+        circuit_unitary(circuit), terms_unitary(terms, 4)
+    )

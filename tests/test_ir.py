@@ -54,6 +54,33 @@ class TestBlock:
         block = make_block("ZZ", "XX")
         assert block.lex_key() == PauliString.from_label("XX").lex_key()
 
+    def test_lex_key_is_min_over_unsorted_strings(self):
+        # The key is the *minimum* over strings, so an unsorted block ranks
+        # exactly like its sorted self (its first string, "XY", is not the
+        # representative).
+        unsorted = make_block("XY", "ZZ", "XX")
+        assert unsorted.lex_key() == PauliString.from_label("XX").lex_key()
+        assert unsorted.lex_key() == unsorted.sorted_lexicographically().lex_key()
+
+    def test_view_matches_scalar_queries(self):
+        block = make_block("XXI", "IXX", "IZI")
+        view = block.view
+        assert view.active_qubits == block.active_qubits == (0, 1, 2)
+        assert view.active_length == 3
+        assert view.core_qubits == block.core_qubits == (1,)
+        assert view.depth_estimate == block.depth_estimate() == 3 + 3 + 1
+        assert view.lex_key == block.lex_key()
+
+    def test_view_is_cached(self):
+        block = make_block("XXI")
+        assert block.view is block.view
+
+    def test_sorted_block_is_cached_and_idempotent(self):
+        block = make_block("ZZ", "XX")
+        once = block.sorted_lexicographically()
+        assert block.sorted_lexicographically() is once
+        assert once.sorted_lexicographically() is once
+
     def test_depth_estimate_grows_with_weight(self):
         small = make_block("IIZ")
         large = make_block("ZZZ")

@@ -11,6 +11,10 @@ from repro.core import (
     schedule_depth_estimate,
     schedule_to_program,
 )
+from repro.core.reference import (
+    scalar_do_schedule,
+    scalar_layer_operator_overlap,
+)
 from repro.ir import PauliBlock, PauliProgram
 
 
@@ -131,3 +135,55 @@ def test_do_layers_are_qubit_disjoint_from_primary(labels):
         primary_qubits = set(layer[0].active_qubits)
         for padding in layer[1:]:
             assert not (set(padding.active_qubits) & primary_qubits)
+
+
+# ----------------------------------------------------------------------
+# Vectorized scheduler vs the scalar oracle (repro.core.reference keeps
+# the seed implementation, shared with benchmarks/bench_kernels.py)
+# ----------------------------------------------------------------------
+
+def _signature(schedule):
+    return [
+        [tuple(ws.string.label for ws in block) for block in layer]
+        for layer in schedule
+    ]
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.text(alphabet="IXYZ", min_size=5, max_size=5).filter(
+                lambda s: set(s) != {"I"}
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_do_schedule_matches_scalar_reference(block_labels):
+    p = prog(*block_labels)
+    assert _signature(do_schedule(p)) == _signature(scalar_do_schedule(p))
+
+
+@given(
+    st.lists(
+        st.text(alphabet="IXYZ", min_size=4, max_size=4).filter(lambda s: set(s) != {"I"}),
+        min_size=1,
+        max_size=5,
+    ),
+    st.lists(
+        st.text(alphabet="IXYZ", min_size=4, max_size=4).filter(lambda s: set(s) != {"I"}),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_layer_overlap_matches_scalar_reference(block_labels, layer_labels):
+    block = PauliBlock(block_labels)
+    layer = [PauliBlock(layer_labels)]
+    assert layer_operator_overlap(block, layer) == scalar_layer_operator_overlap(
+        block, layer
+    )
