@@ -4,6 +4,7 @@ from .circuit import QuantumCircuit
 from .dag import DAGCircuit, critical_path, dag_depth, gates_commute
 from .gates import Gate, gate_matrix, inverse_gate
 from .qasm import from_qasm, to_qasm
+from .tape import GateTape
 from .statevector import (
     apply_gate,
     circuit_unitary,
@@ -14,6 +15,7 @@ from .statevector import (
 __all__ = [
     "DAGCircuit",
     "Gate",
+    "GateTape",
     "QuantumCircuit",
     "critical_path",
     "dag_depth",

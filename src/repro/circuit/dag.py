@@ -78,15 +78,22 @@ class DAGCircuit:
     # ------------------------------------------------------------------
     @classmethod
     def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
-        """Wire-order DAG: consecutive gates on a shared qubit depend."""
-        edges: Dict[int, List[int]] = {i: [] for i in range(len(circuit))}
-        last_on: Dict[int, int] = {}
-        for idx, gate in enumerate(circuit):
-            parents = {last_on[q] for q in gate.qubits if q in last_on}
+        """Wire-order DAG, read off the tape's per-wire predecessor links."""
+        tape = circuit.tape
+        tape.ensure_links()
+        index_of = {slot: idx for idx, slot in enumerate(tape.iter_slots())}
+        edges: Dict[int, List[int]] = {i: [] for i in range(len(index_of))}
+        for slot, idx in index_of.items():
+            parents = set()
+            prev0 = tape.prv0[slot]
+            if prev0 != -1:
+                parents.add(index_of[prev0])
+            if tape.q1[slot] != -1:
+                prev1 = tape.prv1[slot]
+                if prev1 != -1:
+                    parents.add(index_of[prev1])
             for parent in sorted(parents):
                 edges[parent].append(idx)
-            for q in gate.qubits:
-                last_on[q] = idx
         return cls(circuit.gates, circuit.num_qubits, edges)
 
     @classmethod

@@ -21,11 +21,17 @@ import numpy as np
 
 __all__ = [
     "Gate",
+    "OPCODES",
+    "OP",
+    "OP_ROTATION",
+    "OP_SINGLE",
+    "OP_TWO",
     "SINGLE_QUBIT_GATES",
     "TWO_QUBIT_GATES",
     "SELF_INVERSE_GATES",
     "ROTATION_GATES",
     "gate_matrix",
+    "matrix_for_op",
     "inverse_gate",
 ]
 
@@ -49,6 +55,25 @@ SELF_INVERSE_GATES = frozenset({"id", "x", "y", "z", "h", "yh", "cx", "cz", "swa
 ROTATION_GATES = frozenset({"rx", "ry", "rz"})
 
 _INVERSE_NAME = {"s": "sdg", "sdg": "s"}
+
+# ----------------------------------------------------------------------
+# Opcode table for the columnar gate tape.  The tape stores one small int
+# per gate instead of a name string; everything keyed by name above has an
+# opcode-keyed twin here so hot loops never touch strings.
+# ----------------------------------------------------------------------
+OPCODES: Tuple[str, ...] = (
+    "id", "x", "y", "z", "h", "s", "sdg", "yh", "rx", "ry", "rz",
+    "cx", "cz", "swap",
+)
+OP: Dict[str, int] = {name: code for code, name in enumerate(OPCODES)}
+OP_SINGLE = frozenset(OP[name] for name in SINGLE_QUBIT_GATES)
+OP_TWO = frozenset(OP[name] for name in TWO_QUBIT_GATES)
+OP_ROTATION = frozenset(OP[name] for name in ROTATION_GATES)
+#: opcode -> opcode of the inverse gate (rotations negate their angle and
+#: keep their opcode; ``s``/``sdg`` swap; the rest are self-inverse).
+OP_INVERSE: Tuple[int, ...] = tuple(
+    OP[_INVERSE_NAME.get(name, name)] for name in OPCODES
+)
 
 
 class Gate:
@@ -82,6 +107,15 @@ class Gate:
         self.qubits = tuple(int(q) for q in qubits)
         self.params = tuple(float(p) for p in params)
 
+    @classmethod
+    def _from_row(cls, name: str, qubits: Tuple[int, ...], params: Tuple[float, ...]) -> "Gate":
+        """Build a gate from an already-validated tape row, skipping checks."""
+        gate = cls.__new__(cls)
+        gate.name = name
+        gate.qubits = qubits
+        gate.params = params
+        return gate
+
     @property
     def num_qubits(self) -> int:
         return len(self.qubits)
@@ -109,47 +143,63 @@ class Gate:
         return f"{self.name} q{list(self.qubits)}"
 
 
+_CX_MATRIX = np.array(
+    # control = qubits[0] (bit 0 in the local basis), target = qubits[1]
+    [
+        [1, 0, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+    ],
+    dtype=complex,
+)
+_CZ_MATRIX = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP_MATRIX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+#: opcode -> fixed matrix (None for the three parametric rotations).
+_FIXED_2Q = {"cx": _CX_MATRIX, "cz": _CZ_MATRIX, "swap": _SWAP_MATRIX}
+_FIXED_BY_OP: Tuple[Optional[np.ndarray], ...] = tuple(
+    _FIXED_1Q[name] if name in _FIXED_1Q else _FIXED_2Q.get(name)
+    for name in OPCODES
+)
+_OP_RX, _OP_RY, _OP_RZ = OP["rx"], OP["ry"], OP["rz"]
+
+
+def matrix_for_op(op: int, param: float = 0.0) -> np.ndarray:
+    """Unitary for a tape row: opcode plus rotation angle (if any).
+
+    Two-qubit matrices are in the basis ``|q1 q0>`` with ``q0`` the row's
+    first qubit (little-endian within the gate).
+    """
+    fixed = _FIXED_BY_OP[op]
+    if fixed is not None:
+        return fixed
+    c, s = math.cos(param / 2.0), math.sin(param / 2.0)
+    if op == _OP_RZ:
+        return np.array([[c - 1j * s, 0], [0, c + 1j * s]], dtype=complex)
+    if op == _OP_RX:
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    return np.array([[c, -s], [s, c]], dtype=complex)  # ry
+
+
 def gate_matrix(gate: Gate) -> np.ndarray:
     """Return the unitary of a gate on its own qubits.
 
     For two-qubit gates the matrix is given in the basis ``|q1 q0>`` where
     ``q0`` is ``gate.qubits[0]`` (little-endian within the gate).
     """
-    name = gate.name
-    if name in _FIXED_1Q:
-        return _FIXED_1Q[name]
-    if name in ROTATION_GATES:
-        theta = gate.params[0]
-        c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
-        if name == "rz":
-            return np.array([[c - 1j * s, 0], [0, c + 1j * s]], dtype=complex)
-        if name == "rx":
-            return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
-        return np.array([[c, -s], [s, c]], dtype=complex)  # ry
-    if name == "cx":
-        # control = qubits[0] (bit 0 in the local basis), target = qubits[1]
-        return np.array(
-            [
-                [1, 0, 0, 0],
-                [0, 0, 0, 1],
-                [0, 0, 1, 0],
-                [0, 1, 0, 0],
-            ],
-            dtype=complex,
-        )
-    if name == "cz":
-        return np.diag([1, 1, 1, -1]).astype(complex)
-    if name == "swap":
-        return np.array(
-            [
-                [1, 0, 0, 0],
-                [0, 0, 1, 0],
-                [0, 1, 0, 0],
-                [0, 0, 0, 1],
-            ],
-            dtype=complex,
-        )
-    raise ValueError(f"no matrix for gate {name!r}")
+    op = OP.get(gate.name)
+    if op is None:
+        raise ValueError(f"no matrix for gate {gate.name!r}")
+    return matrix_for_op(op, gate.params[0] if gate.params else 0.0)
 
 
 def inverse_gate(gate: Gate) -> Gate:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import List
+from typing import List, Optional
 
 from .circuit import QuantumCircuit
 from .gates import Gate
@@ -86,9 +86,107 @@ def from_qasm(text: str) -> QuantumCircuit:
     return circuit
 
 
+_ANGLE_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+(?:[eE][+-]?\d+)?)|(?P<pi>pi)|(?P<op>[-+*/()]))"
+)
+
+
+def _tokenize_angle(expression: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(expression):
+        match = _ANGLE_TOKEN_RE.match(expression, pos)
+        if match is None:
+            if expression[pos:].strip():
+                raise ValueError(
+                    f"bad angle expression {expression!r}: unexpected "
+                    f"character {expression[pos:].strip()[0]!r}"
+                )
+            break
+        tokens.append(match.group(match.lastgroup))
+        pos = match.end()
+    return tokens
+
+
+class _AngleParser:
+    """Recursive-descent evaluator for the QASM angle grammar.
+
+    Accepts the intended grammar of the old sanitized-``eval``
+    implementation — decimal/scientific number literals, ``pi``, unary
+    ``+``/``-``, binary ``+ - * /``, and parentheses — with no ``eval``
+    and with errors that name the offending token.  One deliberate
+    narrowing: ``**`` exponentiation, which the old character whitelist
+    let through to ``eval`` by accident, is now rejected (no QASM emitter
+    in or out of this library produces it).
+    """
+
+    def __init__(self, expression: str):
+        self.expression = expression
+        self.tokens = _tokenize_angle(expression)
+        self.pos = 0
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> Optional[str]:
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def _fail(self, why: str) -> ValueError:
+        return ValueError(f"bad angle expression {self.expression!r}: {why}")
+
+    def parse(self) -> float:
+        if not self.tokens:
+            raise self._fail("empty expression")
+        value = self._expr()
+        if self._peek() is not None:
+            raise self._fail(f"unexpected token {self._peek()!r}")
+        return value
+
+    def _expr(self) -> float:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            if self._next() == "+":
+                value += self._term()
+            else:
+                value -= self._term()
+        return value
+
+    def _term(self) -> float:
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            if self._next() == "*":
+                value *= self._factor()
+            else:
+                divisor = self._factor()
+                if divisor == 0.0:
+                    raise self._fail("division by zero")
+                value /= divisor
+        return value
+
+    def _factor(self) -> float:
+        token = self._next()
+        if token == "-":
+            return -self._factor()
+        if token == "+":
+            return self._factor()
+        if token == "(":
+            value = self._expr()
+            if self._next() != ")":
+                raise self._fail("missing closing parenthesis")
+            return value
+        if token == "pi":
+            return math.pi
+        if token is None:
+            raise self._fail("expression ends mid-term")
+        try:
+            return float(token)
+        except ValueError:
+            raise self._fail(f"unexpected token {token!r}") from None
+
+
 def _eval_angle(expression: str) -> float:
     """Evaluate a QASM angle: float literals and simple ``pi`` arithmetic."""
-    cleaned = expression.replace("pi", repr(math.pi))
-    if not re.fullmatch(r"[0-9eE+\-*/. ()]+", cleaned):
-        raise ValueError(f"unsafe angle expression {expression!r}")
-    return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized
+    return _AngleParser(expression).parse()

@@ -15,7 +15,8 @@ from typing import Iterable, Optional
 import numpy as np
 
 from .circuit import QuantumCircuit
-from .gates import Gate, gate_matrix
+from .gates import Gate, gate_matrix, matrix_for_op
+from .tape import NO_SLOT
 
 __all__ = ["apply_gate", "simulate", "circuit_unitary", "equivalent_up_to_global_phase"]
 
@@ -70,8 +71,17 @@ def simulate(
         if state.shape != (dim,):
             raise ValueError(f"initial state must have shape ({dim},)")
         state = state.copy()
-    for gate in circuit:
-        state = apply_gate(state, gate, circuit.num_qubits)
+    # Walk the tape columns directly: simulation needs only (op, qubits,
+    # angle) per row, so no Gate records are materialized.
+    tape = circuit.tape
+    num_qubits = circuit.num_qubits
+    for slot in tape.iter_slots():
+        op, q0, q1, param = tape.row(slot)
+        matrix = matrix_for_op(op, param)
+        if q1 == NO_SLOT:
+            state = _apply_single(state, matrix, q0, num_qubits)
+        else:
+            state = _apply_two(state, matrix, q0, q1, num_qubits)
     return state
 
 

@@ -1,0 +1,378 @@
+"""Columnar gate tape: the storage substrate under :class:`QuantumCircuit`.
+
+A :class:`GateTape` stores a gate list as structure-of-arrays columns —
+opcode, the (up to two) qubit operands, the rotation angle, and an alive
+mask — plus a persistent per-wire doubly-linked list threaded through the
+rows.  Every structural query the compiler passes need (the next/previous
+gate on a wire, per-opcode counts, wire order) is O(1) per step instead of
+a rebuild-the-world scan, which is what makes the worklist peephole engine
+and the SABRE router linear-time.
+
+Rows are append-only; removal marks a row dead and splices its wire links.
+``compact()`` rebuilds a dense tape when the dead fraction matters (the
+peephole engine does this once, at the end of a fixpoint run).
+
+Slots (row indices) are stable across removals, so engines can hold slot
+handles in worklists without invalidation.  All columns are plain Python
+lists: the engines do scalar pointer-chasing, where list indexing beats
+numpy element access by a wide margin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .gates import OP_ROTATION as _OP_ROTATION
+from .gates import OPCODES, Gate
+
+__all__ = ["GateTape"]
+
+NO_SLOT = -1
+
+
+class GateTape:
+    """Structure-of-arrays gate storage with per-wire doubly-linked order.
+
+    Columns (parallel lists indexed by *slot*):
+
+    * ``op`` — small-int opcode (index into :data:`~repro.circuit.gates.OPCODES`);
+    * ``q0``, ``q1`` — qubit operands (``q1 == -1`` for one-qubit gates);
+    * ``param`` — rotation angle (0.0 for non-rotations);
+    * ``alive`` — liveness flag;
+    * ``nxt0``/``prv0`` — successor/predecessor slot on the ``q0`` wire;
+    * ``nxt1``/``prv1`` — successor/predecessor slot on the ``q1`` wire.
+
+    ``head[q]``/``tail[q]`` give each wire's first/last live slot.
+    """
+
+    __slots__ = (
+        "num_qubits", "op", "q0", "q1", "param", "alive",
+        "nxt0", "prv0", "nxt1", "prv1", "head", "tail",
+        "alive_count", "counts", "_links_ready",
+    )
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = num_qubits
+        self.op: List[int] = []
+        self.q0: List[int] = []
+        self.q1: List[int] = []
+        self.param: List[float] = []
+        self.alive: List[bool] = []
+        self.nxt0: List[int] = []
+        self.prv0: List[int] = []
+        self.nxt1: List[int] = []
+        self.prv1: List[int] = []
+        self.head: List[int] = []
+        self.tail: List[int] = []
+        self.alive_count = 0
+        self.counts: List[int] = [0] * len(OPCODES)
+        self._links_ready = False
+
+    @classmethod
+    def from_columns(
+        cls,
+        num_qubits: int,
+        op: List[int],
+        q0: List[int],
+        q1: List[int],
+        param: List[float],
+    ) -> "GateTape":
+        """Adopt pre-built columns (all rows live); links realize lazily."""
+        tape = cls.__new__(cls)
+        tape.num_qubits = num_qubits
+        tape.op = op
+        tape.q0 = q0
+        tape.q1 = q1
+        tape.param = param
+        n = len(op)
+        tape.alive = [True] * n
+        tape.alive_count = n
+        counts = [0] * len(OPCODES)
+        for code in op:
+            counts[code] += 1
+        tape.counts = counts
+        tape.nxt0 = []
+        tape.prv0 = []
+        tape.nxt1 = []
+        tape.prv1 = []
+        tape.head = []
+        tape.tail = []
+        tape._links_ready = False
+        return tape
+
+    # ------------------------------------------------------------------
+    # Wire links (lazily realized, persistently maintained thereafter)
+    # ------------------------------------------------------------------
+    def ensure_links(self) -> None:
+        """Realize the per-wire doubly-linked lists if not built yet.
+
+        Appends before the first structural query skip link bookkeeping
+        entirely (circuit *construction* is append-only and order-driven);
+        the first consumer pays one O(rows) pass, and every append or
+        removal afterwards maintains the links incrementally.
+        """
+        if self._links_ready:
+            return
+        n = len(self.op)
+        nxt0 = [NO_SLOT] * n
+        prv0 = [NO_SLOT] * n
+        nxt1 = [NO_SLOT] * n
+        prv1 = [NO_SLOT] * n
+        head = [NO_SLOT] * self.num_qubits
+        tail = [NO_SLOT] * self.num_qubits
+        alive, q0s, q1s = self.alive, self.q0, self.q1
+        for slot in range(n):
+            if not alive[slot]:
+                continue
+            wire = q0s[slot]
+            prev = tail[wire]
+            prv0[slot] = prev
+            if prev == NO_SLOT:
+                head[wire] = slot
+            elif q0s[prev] == wire:
+                nxt0[prev] = slot
+            else:
+                nxt1[prev] = slot
+            tail[wire] = slot
+            wire = q1s[slot]
+            if wire != NO_SLOT:
+                prev = tail[wire]
+                prv1[slot] = prev
+                if prev == NO_SLOT:
+                    head[wire] = slot
+                elif q0s[prev] == wire:
+                    nxt0[prev] = slot
+                else:
+                    nxt1[prev] = slot
+                tail[wire] = slot
+        self.nxt0, self.prv0 = nxt0, prv0
+        self.nxt1, self.prv1 = nxt1, prv1
+        self.head, self.tail = head, tail
+        self._links_ready = True
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, op: int, q0: int, q1: int = NO_SLOT, param: float = 0.0) -> int:
+        """Append a validated row; returns its slot."""
+        slot = len(self.op)
+        self.op.append(op)
+        self.q0.append(q0)
+        self.q1.append(q1)
+        self.param.append(param)
+        self.alive.append(True)
+        self.alive_count += 1
+        self.counts[op] += 1
+        if not self._links_ready:
+            return slot
+        tail = self.tail
+        prev0 = tail[q0]
+        self.prv0.append(prev0)
+        self.nxt0.append(NO_SLOT)
+        if prev0 == NO_SLOT:
+            self.head[q0] = slot
+        else:
+            self._set_next(prev0, q0, slot)
+        tail[q0] = slot
+        if q1 != NO_SLOT:
+            prev1 = tail[q1]
+            self.prv1.append(prev1)
+            self.nxt1.append(NO_SLOT)
+            if prev1 == NO_SLOT:
+                self.head[q1] = slot
+            else:
+                self._set_next(prev1, q1, slot)
+            tail[q1] = slot
+        else:
+            self.prv1.append(NO_SLOT)
+            self.nxt1.append(NO_SLOT)
+        return slot
+
+    def remove(self, slot: int) -> None:
+        """Kill a live row and splice it out of its wire lists."""
+        self.ensure_links()
+        self.alive[slot] = False
+        self.alive_count -= 1
+        self.counts[self.op[slot]] -= 1
+        self._unlink(slot, self.q0[slot], self.prv0[slot], self.nxt0[slot])
+        q1 = self.q1[slot]
+        if q1 != NO_SLOT:
+            self._unlink(slot, q1, self.prv1[slot], self.nxt1[slot])
+
+    def truncate_to(self, length: int) -> None:
+        """Drop every row at dense (live-order) position ``length`` onward.
+
+        On an append-only tape (no dead rows) the doomed region is a
+        physical column suffix, so it is popped outright — O(dropped) —
+        and the links are simply invalidated for lazy rebuild.  A tape
+        that already carries dead rows falls back to mark-and-splice.
+        """
+        if length >= self.alive_count:
+            return
+        n = len(self.op)
+        if self.alive_count == n:
+            counts = self.counts
+            for code in self.op[length:]:
+                counts[code] -= 1
+            del self.op[length:]
+            del self.q0[length:]
+            del self.q1[length:]
+            del self.param[length:]
+            del self.alive[length:]
+            self.alive_count = length
+            if self._links_ready:
+                self._links_ready = False
+                self.nxt0 = []
+                self.prv0 = []
+                self.nxt1 = []
+                self.prv1 = []
+                self.head = []
+                self.tail = []
+            return
+        doomed = [slot for pos, slot in enumerate(self.iter_slots()) if pos >= length]
+        for slot in doomed:
+            self.remove(slot)
+
+    def set_rotation(self, slot: int, op: int, param: float) -> None:
+        """Rewrite a live row in place (same qubits, new opcode/angle)."""
+        old = self.op[slot]
+        if old != op:
+            self.counts[old] -= 1
+            self.counts[op] += 1
+            self.op[slot] = op
+        self.param[slot] = param
+
+    def set_two_qubit_op(self, slot: int, op: int, q0: int, q1: int) -> None:
+        """Rewrite a live two-qubit row's opcode/operand order in place.
+
+        ``{q0, q1}`` must equal the row's current qubit set; only the
+        control/target roles may differ, so wire membership (and hence the
+        link structure) is preserved up to a role swap.
+        """
+        old = self.op[slot]
+        if old != op:
+            self.counts[old] -= 1
+            self.counts[op] += 1
+            self.op[slot] = op
+        if self.q0[slot] != q0:
+            self.q0[slot], self.q1[slot] = q0, q1
+            if self._links_ready:
+                self.nxt0[slot], self.nxt1[slot] = self.nxt1[slot], self.nxt0[slot]
+                self.prv0[slot], self.prv1[slot] = self.prv1[slot], self.prv0[slot]
+
+    def _unlink(self, slot: int, wire: int, prev: int, nxt: int) -> None:
+        if prev == NO_SLOT:
+            self.head[wire] = nxt
+        else:
+            self._set_next(prev, wire, nxt)
+        if nxt == NO_SLOT:
+            self.tail[wire] = prev
+        else:
+            self._set_prev(nxt, wire, prev)
+
+    def _set_next(self, slot: int, wire: int, value: int) -> None:
+        if self.q0[slot] == wire:
+            self.nxt0[slot] = value
+        else:
+            self.nxt1[slot] = value
+
+    def _set_prev(self, slot: int, wire: int, value: int) -> None:
+        if self.q0[slot] == wire:
+            self.prv0[slot] = value
+        else:
+            self.prv1[slot] = value
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def wire_next(self, slot: int, wire: int) -> int:
+        self.ensure_links()
+        return self.nxt0[slot] if self.q0[slot] == wire else self.nxt1[slot]
+
+    def wire_prev(self, slot: int, wire: int) -> int:
+        self.ensure_links()
+        return self.prv0[slot] if self.q0[slot] == wire else self.prv1[slot]
+
+    def wire_sequence(self, wire: int) -> List[int]:
+        """Live slots on a wire, in program order."""
+        self.ensure_links()
+        out: List[int] = []
+        slot = self.head[wire]
+        while slot != NO_SLOT:
+            out.append(slot)
+            slot = self.wire_next(slot, wire)
+        return out
+
+    def iter_slots(self) -> Iterator[int]:
+        """Live slots in program order."""
+        alive = self.alive
+        for slot in range(len(alive)):
+            if alive[slot]:
+                yield slot
+
+    def gate_at(self, slot: int) -> Gate:
+        """Materialize a :class:`Gate` record for a live row."""
+        op = self.op[slot]
+        q1 = self.q1[slot]
+        qubits = (self.q0[slot],) if q1 == NO_SLOT else (self.q0[slot], q1)
+        params = (self.param[slot],) if op in _OP_ROTATION else ()
+        return Gate._from_row(OPCODES[op], qubits, params)
+
+    def row(self, slot: int) -> Tuple[int, int, int, float]:
+        return self.op[slot], self.q0[slot], self.q1[slot], self.param[slot]
+
+    # ------------------------------------------------------------------
+    # Whole-tape operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "GateTape":
+        out = GateTape.__new__(GateTape)
+        out.num_qubits = self.num_qubits
+        out.op = list(self.op)
+        out.q0 = list(self.q0)
+        out.q1 = list(self.q1)
+        out.param = list(self.param)
+        out.alive = list(self.alive)
+        out.nxt0 = list(self.nxt0)
+        out.prv0 = list(self.prv0)
+        out.nxt1 = list(self.nxt1)
+        out.prv1 = list(self.prv1)
+        out.head = list(self.head)
+        out.tail = list(self.tail)
+        out.alive_count = self.alive_count
+        out.counts = list(self.counts)
+        out._links_ready = self._links_ready
+        return out
+
+    def compact(self) -> "GateTape":
+        """Dense copy with dead rows dropped (slot numbering changes)."""
+        live = list(self.iter_slots())
+        op, q0, q1, param = self.op, self.q0, self.q1, self.param
+        return GateTape.from_columns(
+            self.num_qubits,
+            [op[s] for s in live],
+            [q0[s] for s in live],
+            [q1[s] for s in live],
+            [param[s] for s in live],
+        )
+
+    def check_invariants(self) -> None:
+        """Debug helper: verify link/count consistency (used in tests)."""
+        seen = 0
+        counts = [0] * len(OPCODES)
+        for slot in self.iter_slots():
+            seen += 1
+            counts[self.op[slot]] += 1
+        assert seen == self.alive_count, "alive_count out of sync"
+        assert counts == self.counts, "per-opcode counts out of sync"
+        order = {slot: pos for pos, slot in enumerate(self.iter_slots())}
+        for wire in range(self.num_qubits):
+            seq = self.wire_sequence(wire)
+            assert all(self.alive[s] for s in seq), "dead slot linked"
+            assert [order[s] for s in seq] == sorted(order[s] for s in seq), (
+                "wire order diverged from program order"
+            )
+            prev = NO_SLOT
+            for s in seq:
+                assert self.wire_prev(s, wire) == prev, "broken prev link"
+                prev = s
+            assert self.tail[wire] == (seq[-1] if seq else NO_SLOT)

@@ -24,8 +24,9 @@ from .analysis import (
     table3_compare,
     table4_passes,
 )
+from .baselines import tk_compile
 from .core import compile_program
-from .transpile import manhattan_65
+from .transpile import manhattan_65, transpile, validate_routed
 from .workloads import BENCHMARKS, benchmark_names, build_benchmark, random_graph, regular_graph
 
 __all__ = ["main"]
@@ -46,15 +47,55 @@ def _cmd_compile(args) -> int:
         print(f"unknown benchmark {args.name!r}; try 'list'", file=sys.stderr)
         return 2
     program = spec.build(args.scale)
-    kwargs = {}
-    if spec.backend == "sc":
-        kwargs["coupling"] = manhattan_65()
-    result = compile_program(program, backend=spec.backend, scheduler=args.scheduler, **kwargs)
-    print(f"{args.name} ({spec.backend} backend, scheduler={result.scheduler})")
+    coupling = manhattan_65() if spec.backend == "sc" else None
+    kwargs = {"coupling": coupling} if coupling is not None else {}
+
+    if args.opt_level is None and args.frontend == "ph":
+        # Legacy path: Paulihedral frontend with its own peephole cleanup.
+        result = compile_program(
+            program, backend=spec.backend, scheduler=args.scheduler, **kwargs
+        )
+        header = f"{args.name} ({spec.backend} backend, scheduler={result.scheduler})"
+        metrics = result.metrics
+    else:
+        # Table 2 path: frontend without its own cleanup, then the generic
+        # level-N pipeline (optimize / coupling-aware routing / re-optimize).
+        level = 3 if args.opt_level is None else args.opt_level
+        if args.frontend == "tk":
+            if args.scheduler is not None:
+                print(
+                    "warning: --scheduler only applies to the ph frontend; "
+                    "ignored for --frontend tk",
+                    file=sys.stderr,
+                )
+            circuit = tk_compile(program).circuit
+            tag = "tk"
+            needs_routing = spec.backend == "sc"
+        else:
+            result = compile_program(
+                program, backend=spec.backend, scheduler=args.scheduler,
+                run_peephole=False, **kwargs,
+            )
+            circuit = result.circuit
+            tag = f"ph/{result.scheduler}"
+            needs_routing = False  # the SC frontend routes by construction
+        circuit = transpile(
+            circuit,
+            coupling=coupling if needs_routing else None,
+            optimization_level=level,
+        )
+        if coupling is not None:
+            validate_routed(circuit, coupling)
+        header = (
+            f"{args.name} ({spec.backend} backend, frontend={tag}, "
+            f"generic level {level})"
+        )
+        metrics = circuit_metrics(circuit)
+
+    print(header)
     print(format_table(
         ["CNOT", "Single", "Total", "Depth"],
-        [[result.metrics["cnot"], result.metrics["single"],
-          result.metrics["total"], result.metrics["depth"]]],
+        [[metrics["cnot"], metrics["single"], metrics["total"], metrics["depth"]]],
     ))
     return 0
 
@@ -132,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("--scale", default="small", choices=["small", "paper"])
     p.add_argument("--scheduler", default=None, choices=["gco", "do", "none"])
+    p.add_argument(
+        "--opt-level", type=int, default=None, choices=[0, 1, 2, 3],
+        help="run the generic pipeline at this level after the frontend "
+             "(Table 2 configuration); omits the frontend's own peephole",
+    )
+    p.add_argument(
+        "--frontend", default="ph", choices=["ph", "tk"],
+        help="ph (Paulihedral, default) or the TK-style baseline; tk on an "
+             "SC benchmark routes through the device coupling map",
+    )
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("table1", help="regenerate Table 1")

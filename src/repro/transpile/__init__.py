@@ -20,6 +20,7 @@ from .peephole import (
     commutative_cancel,
     merge_rotations,
     optimize,
+    run_rules,
 )
 from .pipeline import transpile
 from .routing import RoutingResult, route, validate_routed
@@ -45,6 +46,7 @@ __all__ = [
     "optimize",
     "ring",
     "route",
+    "run_rules",
     "transpile",
     "trivial_layout",
     "validate_routed",

@@ -87,6 +87,10 @@ class CouplingMap:
     def distance(self, a: int, b: int) -> int:
         return self._distance_matrix()[a][b]
 
+    def distance_matrix(self) -> List[List[int]]:
+        """All-pairs hop-count matrix (cached; do not mutate)."""
+        return self._distance_matrix()
+
     def shortest_path(self, a: int, b: int, weight=None) -> List[int]:
         """Shortest path between two physical qubits.
 

@@ -1,29 +1,41 @@
-"""Peephole gate-cancellation passes.
+"""Worklist-driven peephole rewrite engine on the columnar gate tape.
 
 These are the generic "level 3"-style cleanups that the paper applies after
 every frontend (Qiskit's ``Optimize1qGates`` + ``CommutativeCancellation``
-equivalents):
+equivalents), rebuilt as *local rules* over the
+:class:`~repro.circuit.tape.GateTape`:
 
-* :func:`cancel_adjacent_pairs` — remove a gate and its immediate inverse
-  when they are adjacent on *all* their wires;
-* :func:`merge_rotations` — fuse runs of equal-axis rotations on one wire and
-  drop angle-zero rotations (mod 2*pi, global phase ignored);
-* :func:`commutative_cancel` — cancel CNOT pairs separated only by gates
-  that commute through the control (diagonal) or target (X-axis) wire;
-* :func:`optimize` — run everything to a fixed point.
+* **cancel** — remove a gate and its immediate inverse when they are
+  adjacent on *all* their wires;
+* **merge** — fuse runs of equal-axis single-qubit rotations on one wire
+  and drop angle-zero rotations (mod 2*pi, global phase ignored);
+* **commute** — cancel CNOT pairs separated only by gates that commute
+  through the control (diagonal) or target (X-axis) wire;
+* **fuse** — absorb a CNOT into an adjacent SWAP on the same pair.
 
-The implementation works on a mutable gate list with per-wire successor
-scans; each sweep is O(gates * wires) and the fixpoint loop terminates
-because every rewrite strictly reduces the gate count.
+Instead of re-deriving wire sequences and position dicts on every sweep,
+the engine keeps one dirty-site worklist: it is seeded with every gate
+once, and a rewrite re-seeds only the edited neighborhood (the spliced-in
+wire neighbours, plus the transparent run behind the edit so a newly
+unblocked CNOT walk is revisited).  Every firing strictly shrinks
+``(gate count, swap count)`` lexicographically, so the fixpoint is
+O(gates + rewrites) rather than O(sweeps * gates * wires).
+
+The public functions keep the seed signatures — each returns
+``(new_circuit, rewrite_count)`` and :func:`optimize` runs all rules to a
+joint fixpoint.  The original rebuild-the-world implementations live on
+unchanged in :mod:`repro.transpile.reference` as the equivalence oracle.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Tuple
 
-from ..circuit import Gate, QuantumCircuit
-from ..circuit.gates import ROTATION_GATES, inverse_gate
+from ..circuit import QuantumCircuit
+from ..circuit.gates import OP, OPCODES, OP_INVERSE, OP_ROTATION
+from ..circuit.tape import NO_SLOT, GateTape
 
 __all__ = [
     "cancel_adjacent_pairs",
@@ -31,36 +43,281 @@ __all__ = [
     "commutative_cancel",
     "fuse_swap_cx",
     "optimize",
+    "run_rules",
 ]
 
 _TWO_PI = 2.0 * math.pi
 
+_OP_CX = OP["cx"]
+_OP_CZ = OP["cz"]
+_OP_SWAP = OP["swap"]
+_N_OPS = len(OPCODES)
+
 #: Single-qubit gates diagonal in Z: they commute through a CNOT *control*.
-_DIAGONAL_1Q = frozenset({"z", "s", "sdg", "rz"})
+_DIAGONAL_1Q = ("z", "s", "sdg", "rz")
 #: Single-qubit gates diagonal in X: they commute through a CNOT *target*.
-_X_AXIS_1Q = frozenset({"x", "rx"})
+_X_AXIS_1Q = ("x", "rx")
 
-_MERGE_AXIS = {"rz": "z", "rx": "x", "ry": "y", "z": "z", "x": "x", "y": "y",
-               "s": "z", "sdg": "z", "h": "h", "yh": "yh"}
+_IS_DIAG = bytearray(_N_OPS)
+for _name in _DIAGONAL_1Q:
+    _IS_DIAG[OP[_name]] = 1
+_IS_XAXIS = bytearray(_N_OPS)
+for _name in _X_AXIS_1Q:
+    _IS_XAXIS[OP[_name]] = 1
+#: Transparent for *some* CNOT walk — the backward re-seeding over-approximation.
+_IS_TRANSPARENT = bytes(d | x for d, x in zip(_IS_DIAG, _IS_XAXIS))
 
-_FIXED_ANGLE = {"z": math.pi, "x": math.pi, "y": math.pi,
-                "s": math.pi / 2.0, "sdg": -math.pi / 2.0}
+# Rotation-merge tables: per opcode, the merge axis (-1: not mergeable) and
+# the fixed angle contributed by non-parametric gates.
+_AXIS_NONE, _AXIS_Z, _AXIS_X, _AXIS_Y, _AXIS_H, _AXIS_YH = -1, 0, 1, 2, 3, 4
+_MERGE_AXIS = [_AXIS_NONE] * _N_OPS
+_FIXED_ANGLE = [0.0] * _N_OPS
+for _name, _axis, _angle in (
+    ("z", _AXIS_Z, math.pi), ("s", _AXIS_Z, math.pi / 2.0),
+    ("sdg", _AXIS_Z, -math.pi / 2.0), ("rz", _AXIS_Z, None),
+    ("x", _AXIS_X, math.pi), ("rx", _AXIS_X, None),
+    ("y", _AXIS_Y, math.pi), ("ry", _AXIS_Y, None),
+    ("h", _AXIS_H, None), ("yh", _AXIS_YH, None),
+):
+    _MERGE_AXIS[OP[_name]] = _axis
+    if _angle is not None:
+        _FIXED_ANGLE[OP[_name]] = _angle
+_AXIS_ROTATION_OP = {_AXIS_Z: OP["rz"], _AXIS_X: OP["rx"], _AXIS_Y: OP["ry"]}
+_IS_ROTATION = bytearray(_N_OPS)
+for _op in OP_ROTATION:
+    _IS_ROTATION[_op] = 1
 
 
-def _wire_sequences(gates: List[Optional[Gate]]) -> Dict[int, List[int]]:
-    wires: Dict[int, List[int]] = {}
-    for idx, gate in enumerate(gates):
-        if gate is None:
+def _engine(
+    tape: GateTape,
+    do_cancel: bool,
+    do_merge: bool,
+    do_commute: bool,
+    do_fuse: bool,
+) -> Tuple[int, int, int, int]:
+    """Run the enabled rules to a joint fixpoint on ``tape`` (in place).
+
+    Returns ``(cancelled, merged, commuted, fused)`` rewrite counts with the
+    seed passes' units: removed gates for cancel/merge/commute, fusion
+    firings for fuse.
+    """
+    tape.ensure_links()
+    ops = tape.op
+    q0s, q1s = tape.q0, tape.q1
+    params = tape.param
+    alive = tape.alive
+    nxt0, nxt1 = tape.nxt0, tape.nxt1
+    prv0, prv1 = tape.prv0, tape.prv1
+    n = len(ops)
+    pending = bytearray(n)
+    queue = deque(tape.iter_slots())
+    for slot in queue:
+        pending[slot] = 1
+    # Fuse never shrinks the gate count, so it must not steal a rewrite
+    # from the shrinking rules (e.g. fusing the swap of [swap, cx, cx]
+    # would destroy the pending cx/cx cancellation).  It therefore runs
+    # from a second, lower-priority queue that is only drained when the
+    # primary queue is empty — the global analogue of the seed's
+    # cancel/merge/commute-before-fuse pass order.
+    fuse_pending = bytearray(n)
+    fuse_queue: deque = deque()
+    if do_fuse:
+        fuse_queue.extend(queue)
+        for slot in fuse_queue:
+            fuse_pending[slot] = 1
+
+    cancelled = merged = commuted = fused = 0
+
+    def wire_next(slot: int, wire: int) -> int:
+        return nxt0[slot] if q0s[slot] == wire else nxt1[slot]
+
+    def wire_prev(slot: int, wire: int) -> int:
+        return prv0[slot] if q0s[slot] == wire else prv1[slot]
+
+    def push(slot: int) -> None:
+        if slot != NO_SLOT and alive[slot]:
+            if not pending[slot]:
+                pending[slot] = 1
+                queue.append(slot)
+            if do_fuse and not fuse_pending[slot]:
+                fuse_pending[slot] = 1
+                fuse_queue.append(slot)
+
+    def reseed_before(slot: int, wire: int) -> None:
+        """Re-seed the wire neighborhood left of a removed/edited site.
+
+        The immediate predecessor may now cancel/merge/fuse with its new
+        successor, and any CNOT separated from the site only by transparent
+        single-qubit gates has a freshly unblocked commuting walk.
+        """
+        walk = slot
+        while walk != NO_SLOT:
+            push(walk)
+            if q1s[walk] != NO_SLOT or not _IS_TRANSPARENT[ops[walk]]:
+                break
+            walk = wire_prev(walk, wire)
+
+    def remove(slot: int) -> None:
+        """Remove a gate and re-seed the spliced-together neighbourhood."""
+        w0, w1 = q0s[slot], q1s[slot]
+        before0, after0 = wire_prev(slot, w0), wire_next(slot, w0)
+        if w1 != NO_SLOT:
+            before1, after1 = wire_prev(slot, w1), wire_next(slot, w1)
+        tape.remove(slot)
+        reseed_before(before0, w0)
+        push(after0)
+        if w1 != NO_SLOT:
+            reseed_before(before1, w1)
+            push(after1)
+
+    while True:
+        if queue:
+            from_fuse_queue = False
+            g = queue.popleft()
+            pending[g] = 0
+        elif fuse_queue:
+            from_fuse_queue = True
+            g = fuse_queue.popleft()
+            fuse_pending[g] = 0
+        else:
+            break
+        if not alive[g]:
             continue
-        for q in gate.qubits:
-            wires.setdefault(q, []).append(idx)
-    return wires
+        op_g = ops[g]
+        a = q0s[g]
+        b = q1s[g]
+
+        # ---- rule: SWAP/CNOT fusion (lower priority: primary queue empty)
+        if from_fuse_queue:
+            if b != NO_SLOT and (op_g == _OP_SWAP or op_g == _OP_CX):
+                succ = nxt0[g] if nxt0[g] == nxt1[g] else NO_SLOT
+                if succ != NO_SLOT:
+                    op_s = ops[succ]
+                    if op_g == _OP_SWAP and op_s == _OP_CX:
+                        # [swap(a,b), cx(c,t)] -> [cx(c,t), cx(t,c)]
+                        c, t = q0s[succ], q1s[succ]
+                        tape.set_two_qubit_op(g, _OP_CX, c, t)
+                        tape.set_two_qubit_op(succ, _OP_CX, t, c)
+                    elif op_g == _OP_CX and op_s == _OP_SWAP:
+                        # [cx(c,t), swap(a,b)] -> [cx(t,c), cx(c,t)]
+                        tape.set_two_qubit_op(succ, _OP_CX, a, b)
+                        tape.set_two_qubit_op(g, _OP_CX, b, a)
+                    else:
+                        succ = NO_SLOT
+                    if succ != NO_SLOT:
+                        fused += 1
+                        reseed_before(wire_prev(g, a), a)
+                        reseed_before(wire_prev(g, b), b)
+                        push(g)
+                        push(succ)
+                        push(wire_next(succ, a))
+                        push(wire_next(succ, b))
+            continue
+
+        # ---- rule: adjacent inverse-pair cancellation ------------------
+        if do_cancel and not _IS_ROTATION[op_g]:
+            if b == NO_SLOT:
+                succ = nxt0[g]
+            else:
+                succ = nxt0[g] if nxt0[g] == nxt1[g] else NO_SLOT
+            if succ != NO_SLOT and ops[succ] == OP_INVERSE[op_g]:
+                # Same wires by construction; two-qubit partners must also
+                # match operand order exactly (the seed oracle does not
+                # cancel reversed cz/swap pairs, and the equivalence tests
+                # pin exact gate counts against it).
+                if b == NO_SLOT or q0s[succ] == a:
+                    remove(g)
+                    remove(succ)
+                    cancelled += 2
+                    continue
+
+        # ---- rule: same-axis rotation merge ----------------------------
+        if do_merge and b == NO_SLOT:
+            axis = _MERGE_AXIS[op_g]
+            if axis != _AXIS_NONE:
+                succ = nxt0[g]
+                if (
+                    succ != NO_SLOT
+                    and q1s[succ] == NO_SLOT
+                    and _MERGE_AXIS[ops[succ]] == axis
+                ):
+                    op_s = ops[succ]
+                    if axis >= _AXIS_H:
+                        # Self-inverse fixed gates: an equal pair drops.
+                        if op_s == op_g:
+                            remove(g)
+                            remove(succ)
+                            merged += 2
+                            continue
+                    else:
+                        angle_g = params[g] if _IS_ROTATION[op_g] else _FIXED_ANGLE[op_g]
+                        angle_s = params[succ] if _IS_ROTATION[op_s] else _FIXED_ANGLE[op_s]
+                        total = math.remainder(angle_g + angle_s, _TWO_PI)
+                        if abs(total) < 1e-12:
+                            remove(g)
+                            remove(succ)
+                            merged += 2
+                        else:
+                            remove(g)
+                            tape.set_rotation(succ, _AXIS_ROTATION_OP[axis], total)
+                            push(succ)
+                            merged += 1
+                        continue
+
+        # ---- rule: CNOT pair cancellation through commuting gates ------
+        if do_commute and op_g == _OP_CX:
+            walk = wire_next(g, a)
+            while walk != NO_SLOT and q1s[walk] == NO_SLOT and _IS_DIAG[ops[walk]]:
+                walk = wire_next(walk, a)
+            j_c = walk
+            if j_c != NO_SLOT:
+                walk = nxt1[g]
+                while walk != NO_SLOT and q1s[walk] == NO_SLOT and _IS_XAXIS[ops[walk]]:
+                    walk = wire_next(walk, b)
+                if (
+                    walk == j_c
+                    and ops[j_c] == _OP_CX
+                    and q0s[j_c] == a
+                    and q1s[j_c] == b
+                ):
+                    remove(g)
+                    remove(j_c)
+                    commuted += 2
+                    continue
+
+    return cancelled, merged, commuted, fused
 
 
-def _rebuild(circuit: QuantumCircuit, gates: List[Optional[Gate]]) -> QuantumCircuit:
-    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    out.extend(g for g in gates if g is not None)
-    return out
+def _run(
+    circuit: QuantumCircuit,
+    do_cancel: bool = False,
+    do_merge: bool = False,
+    do_commute: bool = False,
+    do_fuse: bool = False,
+) -> Tuple[QuantumCircuit, Tuple[int, int, int, int]]:
+    tape = circuit.tape.copy()
+    counts = _engine(tape, do_cancel, do_merge, do_commute, do_fuse)
+    out = QuantumCircuit.from_tape(tape.compact(), name=circuit.name)
+    return out, counts
+
+
+def run_rules(
+    circuit: QuantumCircuit,
+    cancel: bool = False,
+    merge: bool = False,
+    commute: bool = False,
+    fuse: bool = False,
+) -> Tuple[QuantumCircuit, int]:
+    """Run a subset of rewrite rules to a joint fixpoint in one engine pass.
+
+    Returns ``(new_circuit, total_rewrite_count)``.  The pipeline levels
+    use this to avoid one tape copy per pass.
+    """
+    out, (cancelled, merged, commuted, fused) = _run(
+        circuit, do_cancel=cancel, do_merge=merge, do_commute=commute,
+        do_fuse=fuse,
+    )
+    return out, cancelled + merged + commuted + fused
 
 
 def cancel_adjacent_pairs(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
@@ -68,52 +325,8 @@ def cancel_adjacent_pairs(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]
 
     Returns ``(new_circuit, removed_gate_count)``.
     """
-    gates: List[Optional[Gate]] = list(circuit.gates)
-    removed = 0
-    changed = True
-    while changed:
-        changed = False
-        wires = _wire_sequences(gates)
-        position = {
-            (idx, q): pos
-            for q, seq in wires.items()
-            for pos, idx in enumerate(seq)
-        }
-        for idx, gate in enumerate(gates):
-            if gate is None:
-                continue
-            succ = _common_successor(gates, wires, position, idx, gate)
-            if succ is None:
-                continue
-            partner = gates[succ]
-            if partner is None:
-                continue
-            if partner == inverse_gate(gate) and partner.qubits == gate.qubits:
-                if gate.name in ROTATION_GATES:
-                    continue  # rotation pairs are handled by merge_rotations
-                gates[idx] = None
-                gates[succ] = None
-                removed += 2
-                changed = True
-        if changed:
-            gates = [g for g in gates if g is not None]
-    return _rebuild(circuit, gates), removed
-
-
-def _common_successor(gates, wires, position, idx, gate) -> Optional[int]:
-    """Index of the next gate if it immediately follows ``idx`` on all wires."""
-    succ = None
-    for q in gate.qubits:
-        seq = wires[q]
-        pos = position[(idx, q)]
-        if pos + 1 >= len(seq):
-            return None
-        nxt = seq[pos + 1]
-        if succ is None:
-            succ = nxt
-        elif succ != nxt:
-            return None
-    return succ
+    out, (cancelled, _, _, _) = _run(circuit, do_cancel=True)
+    return out, cancelled
 
 
 def merge_rotations(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
@@ -124,48 +337,8 @@ def merge_rotations(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
     ``2*pi``; an angle within 1e-12 of 0 (or ``2*pi``) removes the gate
     entirely (``rz(2*pi) = -I`` is a global phase).
     """
-    gates: List[Optional[Gate]] = list(circuit.gates)
-    removed = 0
-    changed = True
-    while changed:
-        changed = False
-        wires = _wire_sequences(gates)
-        for q, seq in wires.items():
-            for pos in range(len(seq) - 1):
-                i, j = seq[pos], seq[pos + 1]
-                a, b = gates[i], gates[j]
-                if a is None or b is None:
-                    continue
-                if a.num_qubits != 1 or b.num_qubits != 1:
-                    continue
-                merged = _merge_pair(a, b)
-                if merged is None:
-                    continue
-                gates[i] = None
-                gates[j] = merged if merged != "drop" else None
-                removed += 2 if merged == "drop" else 1
-                changed = True
-        if changed:
-            gates = [g for g in gates if g is not None]
-    return _rebuild(circuit, gates), removed
-
-
-def _merge_pair(a: Gate, b: Gate):
-    """Merge two adjacent single-qubit gates on the same wire, or None."""
-    axis_a = _MERGE_AXIS.get(a.name)
-    axis_b = _MERGE_AXIS.get(b.name)
-    if axis_a is None or axis_a != axis_b:
-        return None
-    qubit = a.qubits
-    if axis_a in ("h", "yh"):
-        # self-inverse fixed gates: equal pair drops
-        return "drop" if a.name == b.name else None
-    angle_a = a.params[0] if a.params else _FIXED_ANGLE[a.name]
-    angle_b = b.params[0] if b.params else _FIXED_ANGLE[b.name]
-    total = math.remainder(angle_a + angle_b, _TWO_PI)
-    if abs(total) < 1e-12:
-        return "drop"
-    return Gate(f"r{axis_a}", qubit, (total,))
+    out, (_, merged, _, _) = _run(circuit, do_merge=True)
+    return out, merged
 
 
 def commutative_cancel(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
@@ -174,48 +347,8 @@ def commutative_cancel(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
     For a ``cx(c, t)``: diagonal gates may sit on the control wire and
     X-axis gates on the target wire between the pair.
     """
-    gates: List[Optional[Gate]] = list(circuit.gates)
-    removed = 0
-    changed = True
-    while changed:
-        changed = False
-        wires = _wire_sequences(gates)
-        position = {
-            (idx, q): pos
-            for q, seq in wires.items()
-            for pos, idx in enumerate(seq)
-        }
-        for idx, gate in enumerate(gates):
-            if gate is None or gate.name != "cx":
-                continue
-            control, target = gate.qubits
-            j_c = _next_blocking(gates, wires, position, idx, control, _DIAGONAL_1Q)
-            j_t = _next_blocking(gates, wires, position, idx, target, _X_AXIS_1Q)
-            if j_c is None or j_c != j_t:
-                continue
-            partner = gates[j_c]
-            if partner is not None and partner.name == "cx" and partner.qubits == gate.qubits:
-                gates[idx] = None
-                gates[j_c] = None
-                removed += 2
-                changed = True
-        if changed:
-            gates = [g for g in gates if g is not None]
-    return _rebuild(circuit, gates), removed
-
-
-def _next_blocking(gates, wires, position, idx, qubit, transparent) -> Optional[int]:
-    """Next gate on ``qubit`` after ``idx`` that is not a transparent 1q gate."""
-    seq = wires[qubit]
-    pos = position[(idx, qubit)]
-    for nxt in seq[pos + 1:]:
-        gate = gates[nxt]
-        if gate is None:
-            continue
-        if gate.num_qubits == 1 and gate.name in transparent:
-            continue
-        return nxt
-    return None
+    out, (_, _, commuted, _) = _run(circuit, do_commute=True)
+    return out, commuted
 
 
 def fuse_swap_cx(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
@@ -229,57 +362,19 @@ def fuse_swap_cx(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, int]:
     Each fusion turns 3+1 hardware CNOTs into 2 on the same coupled pair,
     so routed circuits stay valid.  Returns ``(circuit, fused_count)``.
     """
-    gates: List[Optional[Gate]] = list(circuit.gates)
-    fused = 0
-    changed = True
-    while changed:
-        changed = False
-        wires = _wire_sequences(gates)
-        position = {
-            (idx, q): pos
-            for q, seq in wires.items()
-            for pos, idx in enumerate(seq)
-        }
-        for idx, gate in enumerate(gates):
-            if gate is None:
-                continue
-            succ = _common_successor(gates, wires, position, idx, gate)
-            if succ is None:
-                continue
-            partner = gates[succ]
-            if partner is None or set(partner.qubits) != set(gate.qubits):
-                continue
-            if gate.name == "swap" and partner.name == "cx":
-                # [swap(a,b), cx(c,t)] -> [cx(c,t), cx(t,c)]
-                c, t = partner.qubits
-                gates[idx] = Gate("cx", (c, t))
-                gates[succ] = Gate("cx", (t, c))
-            elif gate.name == "cx" and partner.name == "swap":
-                # [cx(c,t), swap(a,b)] -> [cx(t,c), cx(c,t)]
-                c, t = gate.qubits
-                gates[idx] = Gate("cx", (t, c))
-                gates[succ] = Gate("cx", (c, t))
-            else:
-                continue
-            fused += 1
-            changed = True
-            break
-    return _rebuild(circuit, gates), fused
+    out, (_, _, _, fused) = _run(circuit, do_fuse=True)
+    return out, fused
 
 
 def optimize(circuit: QuantumCircuit, max_rounds: int = 50) -> QuantumCircuit:
-    """Run all peephole passes to a fixed point."""
-    current = circuit
-    for _ in range(max_rounds):
-        total = 0
-        current, n = cancel_adjacent_pairs(current)
-        total += n
-        current, n = merge_rotations(current)
-        total += n
-        current, n = commutative_cancel(current)
-        total += n
-        current, n = fuse_swap_cx(current)
-        total += n
-        if total == 0:
-            break
-    return current
+    """Run all rewrite rules to a joint fixed point.
+
+    ``max_rounds`` is kept for signature compatibility with the seed
+    sweep-based implementation; the worklist engine always runs to its
+    (finite) fixpoint in one invocation.
+    """
+    del max_rounds
+    out, _ = _run(
+        circuit, do_cancel=True, do_merge=True, do_commute=True, do_fuse=True
+    )
+    return out

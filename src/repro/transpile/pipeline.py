@@ -6,10 +6,13 @@ generic industry compiler.  :func:`transpile` reproduces that stage:
 * level 0 — no optimization, routing only (if a coupling map is given);
 * level 1 — adjacent-pair cancellation + rotation merging;
 * level 2 — level 1 plus commutative CNOT cancellation;
-* level 3 — level 2 run to a joint fixed point, before *and* after routing.
+* level 3 — all rules including SWAP/CNOT fusion, before *and* after
+  routing.
 
-Routing uses the SABRE-style router with a dense initial layout, mirroring
-Qiskit's default at high optimization levels.
+Each level runs its rule subset to a joint fixpoint in a single pass of
+the worklist engine (see :mod:`repro.transpile.peephole`).  Routing uses
+the SABRE-style router with a dense initial layout, mirroring Qiskit's
+default at high optimization levels.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from typing import Optional
 from ..circuit import QuantumCircuit
 from .coupling import CouplingMap
 from .layout import Layout
-from .peephole import cancel_adjacent_pairs, commutative_cancel, merge_rotations, optimize
+from .peephole import run_rules
 from .routing import route, validate_routed
 
 __all__ = ["transpile"]
@@ -28,16 +31,14 @@ __all__ = ["transpile"]
 def _optimize_at_level(circuit: QuantumCircuit, level: int) -> QuantumCircuit:
     if level <= 0:
         return circuit
-    if level == 1:
-        out, _ = cancel_adjacent_pairs(circuit)
-        out, _ = merge_rotations(out)
-        return out
-    if level == 2:
-        out, _ = cancel_adjacent_pairs(circuit)
-        out, _ = merge_rotations(out)
-        out, _ = commutative_cancel(out)
-        return out
-    return optimize(circuit)
+    out, _ = run_rules(
+        circuit,
+        cancel=True,
+        merge=True,
+        commute=level >= 2,
+        fuse=level >= 3,
+    )
+    return out
 
 
 def transpile(

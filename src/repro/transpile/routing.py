@@ -8,13 +8,24 @@ SABRE); Paulihedral's own SC pass avoids most of this cost by construction.
 The heuristic follows Li, Ding & Xie (ASPLOS 2019): a front layer of blocked
 two-qubit gates, a lookahead ("extended") set, per-qubit decay to spread
 swaps, and the distance-sum score.
+
+Bookkeeping reads the circuit's columnar tape: the per-wire sequences and
+each gate's position on its wires are taken once from the tape links, the
+front layer is maintained incrementally as gates are emitted (instead of
+re-scanning every wire per step), and swap candidates are scored against
+a flat logical-to-physical array with no per-candidate layout copies.  The
+decision sequence — and therefore the routed circuit — is identical to the
+seed implementation kept in :mod:`repro.transpile.reference`, which the
+tests assert gate-for-gate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
-from ..circuit import Gate, QuantumCircuit
+from ..circuit import QuantumCircuit
+from ..circuit.gates import OP
+from ..circuit.tape import NO_SLOT, GateTape
 from .coupling import CouplingMap
 from .layout import Layout, dense_initial_layout
 
@@ -24,6 +35,8 @@ _EXTENDED_SIZE = 20
 _EXTENDED_WEIGHT = 0.5
 _DECAY_STEP = 0.001
 _DECAY_RESET_INTERVAL = 5
+
+_OP_SWAP = OP["swap"]
 
 
 class RoutingResult:
@@ -55,141 +68,274 @@ def route(
     if initial_layout is None:
         initial_layout = dense_initial_layout(coupling, circuit.num_qubits)
     layout = initial_layout.copy()
-    out = QuantumCircuit(coupling.num_qubits, name=circuit.name)
-    gates = list(circuit.gates)
-    n = len(gates)
+    # The routed circuit is accumulated as raw columns and adopted as a
+    # tape in one shot at the end (per-gate appends would dominate).
+    out_op: List[int] = []
+    out_q0: List[int] = []
+    out_q1: List[int] = []
+    out_param: List[float] = []
 
-    # Dependency structure: per logical qubit, the ordered gate indices.
-    per_qubit: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
-    for idx, gate in enumerate(gates):
-        for q in gate.qubits:
-            per_qubit[q].append(idx)
-    cursor = {q: 0 for q in per_qubit}
-    emitted = [False] * n
+    # Dense row view of the logical circuit, straight off the tape.
+    tape = circuit.tape
+    ops: List[int] = []
+    gq0: List[int] = []
+    gq1: List[int] = []
+    gparam: List[float] = []
+    for slot in tape.iter_slots():
+        op, q0, q1, param = tape.row(slot)
+        ops.append(op)
+        gq0.append(q0)
+        gq1.append(q1)
+        gparam.append(param)
+    n = len(ops)
+    num_logical = circuit.num_qubits
+
+    # Per-wire sequences plus each gate's position on its wires, derived
+    # once (the tape keeps gates wire-linked, so this is a single walk).
+    per_qubit: List[List[int]] = [[] for _ in range(num_logical)]
+    pos0 = [0] * n
+    pos1 = [0] * n
+    for i in range(n):
+        seq = per_qubit[gq0[i]]
+        pos0[i] = len(seq)
+        seq.append(i)
+        q1 = gq1[i]
+        if q1 != NO_SLOT:
+            seq = per_qubit[q1]
+            pos1[i] = len(seq)
+            seq.append(i)
+
+    cursor = [0] * num_logical
+    l2p = [layout.physical(q) for q in range(num_logical)]
+    p2l = [-1] * coupling.num_qubits
+    for logical, physical in enumerate(l2p):
+        p2l[physical] = logical
+    dist = coupling.distance_matrix()
+    is_connected = coupling.is_connected
+    neighbor_list = [coupling.neighbors(p) for p in range(coupling.num_qubits)]
     decay = [1.0] * coupling.num_qubits
     steps_since_reset = 0
     swap_count = 0
 
-    def ready(idx: int) -> bool:
-        return all(
-            per_qubit[q][cursor[q]] == idx for q in gates[idx].qubits
-        )
+    # Scratch buffers for swap scoring, reset lazily via generation stamps
+    # so no per-decision dict/set allocation is needed.
+    touched: List[List[Tuple[int, int, int, int]]] = [[] for _ in range(coupling.num_qubits)]
+    touched_stamp = [0] * coupling.num_qubits
+    decision_stamp = 0
 
-    def advance(idx: int) -> None:
-        for q in gates[idx].qubits:
-            cursor[q] += 1
+    def is_ready(idx: int) -> bool:
+        if per_qubit[gq0[idx]][cursor[gq0[idx]]] != idx:
+            return False
+        q1 = gq1[idx]
+        return q1 == NO_SLOT or per_qubit[q1][cursor[q1]] == idx
 
-    def front_layer() -> List[int]:
-        front = []
-        for q, seq in per_qubit.items():
-            if cursor[q] < len(seq):
-                idx = seq[cursor[q]]
-                if not emitted[idx] and ready(idx) and idx not in front:
-                    front.append(idx)
-        return front
+    # The ready ("front") set, maintained incrementally.  Ready gates hold
+    # every wire cursor they touch, so sorting by the minimum wire
+    # reproduces the seed front_layer()'s qubit-scan order exactly.
+    ready: Set[int] = set()
+    for q in range(num_logical):
+        if per_qubit[q]:
+            idx = per_qubit[q][0]
+            if is_ready(idx):
+                ready.add(idx)
+
+    def front_key(idx: int) -> int:
+        q1 = gq1[idx]
+        q0 = gq0[idx]
+        return q0 if q1 == NO_SLOT or q0 < q1 else q1
+
+    # The extended set depends only on the front layer (not the layout),
+    # so it stays valid across consecutive swap decisions; emitting any
+    # gate changes the front and invalidates it.
+    ext_cache: Optional[List[int]] = None
 
     def emit(idx: int) -> None:
-        gate = gates[idx]
-        physical = tuple(layout.physical(q) for q in gate.qubits)
-        out.append(Gate(gate.name, physical, gate.params))
-        emitted[idx] = True
-        advance(idx)
+        nonlocal ext_cache
+        ext_cache = None
+        ready.discard(idx)
+        q0 = gq0[idx]
+        q1 = gq1[idx]
+        out_op.append(ops[idx])
+        out_q0.append(l2p[q0])
+        out_q1.append(NO_SLOT if q1 == NO_SLOT else l2p[q1])
+        out_param.append(gparam[idx])
+        cursor[q0] += 1
+        if q1 != NO_SLOT:
+            cursor[q1] += 1
+        seq = per_qubit[q0]
+        c = cursor[q0]
+        if c < len(seq):
+            nxt = seq[c]
+            other = gq1[nxt] if gq0[nxt] == q0 else gq0[nxt]
+            if other == NO_SLOT or per_qubit[other][cursor[other]] == nxt:
+                ready.add(nxt)
+        if q1 != NO_SLOT:
+            seq = per_qubit[q1]
+            c = cursor[q1]
+            if c < len(seq):
+                nxt = seq[c]
+                other = gq1[nxt] if gq0[nxt] == q1 else gq0[nxt]
+                if other == NO_SLOT or per_qubit[other][cursor[other]] == nxt:
+                    ready.add(nxt)
 
-    def executable(idx: int) -> bool:
-        gate = gates[idx]
-        if gate.num_qubits == 1:
-            return True
-        p0, p1 = (layout.physical(q) for q in gate.qubits)
-        return coupling.is_connected(p0, p1)
+    ext_seen = bytearray(n)
 
-    def extended_set(front: Sequence[int]) -> List[int]:
+    def extended_set(front: List[int]) -> List[int]:
         # Successor two-qubit gates of the front layer, breadth-first.
         result: List[int] = []
-        local_cursor = dict(cursor)
         frontier = list(front)
-        seen: Set[int] = set(front)
-        while frontier and len(result) < _EXTENDED_SIZE:
-            idx = frontier.pop(0)
-            for q in gates[idx].qubits:
-                pos = local_cursor[q]
+        for idx in frontier:
+            ext_seen[idx] = 1
+        k = 0
+        while k < len(frontier) and len(result) < _EXTENDED_SIZE:
+            idx = frontier[k]
+            k += 1
+            q = gq0[idx]
+            seq = per_qubit[q]
+            nxt = pos0[idx] + 1
+            if nxt < len(seq):
+                succ = seq[nxt]
+                if not ext_seen[succ]:
+                    ext_seen[succ] = 1
+                    if gq1[succ] != NO_SLOT:
+                        result.append(succ)
+                    frontier.append(succ)
+            q = gq1[idx]
+            if q != NO_SLOT:
                 seq = per_qubit[q]
-                # step past idx on this wire
-                while pos < len(seq) and seq[pos] != idx:
-                    pos += 1
-                nxt = pos + 1
+                nxt = pos1[idx] + 1
                 if nxt < len(seq):
                     succ = seq[nxt]
-                    if succ not in seen:
-                        seen.add(succ)
-                        if gates[succ].num_qubits == 2:
+                    if not ext_seen[succ]:
+                        ext_seen[succ] = 1
+                        if gq1[succ] != NO_SLOT:
                             result.append(succ)
                         frontier.append(succ)
+        for idx in frontier:
+            ext_seen[idx] = 0
         return result
 
-    def score(front: Sequence[int], ext: Sequence[int], trial: Layout, swap: Tuple[int, int]) -> float:
-        total = 0.0
-        for idx in front:
-            q0, q1 = gates[idx].qubits
-            total += coupling.distance(trial.physical(q0), trial.physical(q1))
-        total *= max(decay[swap[0]], decay[swap[1]])
-        if ext:
-            ext_sum = 0.0
-            for idx in ext:
-                q0, q1 = gates[idx].qubits
-                ext_sum += coupling.distance(trial.physical(q0), trial.physical(q1))
-            total += _EXTENDED_WEIGHT * ext_sum / len(ext)
-        return total
-
-    while True:
-        front = front_layer()
-        if not front:
-            break
+    while ready:
+        front = sorted(ready, key=front_key)
         progressed = False
-        for idx in list(front):
-            if executable(idx):
+        for idx in front:
+            q1 = gq1[idx]
+            if q1 == NO_SLOT or is_connected(l2p[gq0[idx]], l2p[q1]):
                 emit(idx)
                 progressed = True
         if progressed:
             continue
 
         # All front gates are blocked two-qubit gates: pick the best SWAP.
-        front = front_layer()
         blocked_physical: Set[int] = set()
+        front_pairs: List[Tuple[int, int]] = []
         for idx in front:
-            for q in gates[idx].qubits:
-                blocked_physical.add(layout.physical(q))
+            pa, pb = l2p[gq0[idx]], l2p[gq1[idx]]
+            front_pairs.append((pa, pb))
+            blocked_physical.add(pa)
+            blocked_physical.add(pb)
         candidates: Set[Tuple[int, int]] = set()
         for p in blocked_physical:
-            for nbr in coupling.neighbors(p):
-                candidates.add(tuple(sorted((p, nbr))))
-        ext = extended_set(front)
+            for nbr in neighbor_list[p]:
+                candidates.add((p, nbr) if p < nbr else (nbr, p))
+        if ext_cache is None:
+            ext_cache = extended_set(front)
+        ext_pairs = [(l2p[gq0[i]], l2p[gq1[i]]) for i in ext_cache]
+        num_ext = len(ext_pairs)
+
+        # Delta scoring: only pairs touching a candidate's two physical
+        # qubits change distance, so each candidate adjusts the base sums
+        # instead of re-walking every pair.  All sums stay integers until
+        # the final float expression, which matches the seed's
+        # full-recompute arithmetic bit for bit.
+        decision_stamp += 1
+        base_front = 0
+        base_ext = 0
+        for group, pairs in ((0, front_pairs), (1, ext_pairs)):
+            for a, b in pairs:
+                d = dist[a][b]
+                if group == 0:
+                    base_front += d
+                else:
+                    base_ext += d
+                entry = (group, a, b, d)
+                if touched_stamp[a] != decision_stamp:
+                    touched_stamp[a] = decision_stamp
+                    touched[a] = [entry]
+                else:
+                    touched[a].append(entry)
+                if touched_stamp[b] != decision_stamp:
+                    touched_stamp[b] = decision_stamp
+                    touched[b] = [entry]
+                else:
+                    touched[b].append(entry)
         best_swap = None
         best_score = None
         for swap in sorted(candidates):
-            trial = layout.copy()
-            trial.swap_physical(*swap)
-            s = score(front, ext, trial, swap)
-            if best_score is None or s < best_score:
-                best_score = s
+            p, r = swap
+            delta_front = 0
+            delta_ext = 0
+            if touched_stamp[p] == decision_stamp:
+                for group, a, b, old in touched[p]:
+                    na = r if a == p else (p if a == r else a)
+                    nb = r if b == p else (p if b == r else b)
+                    diff = dist[na][nb] - old
+                    if group == 0:
+                        delta_front += diff
+                    else:
+                        delta_ext += diff
+            if touched_stamp[r] == decision_stamp:
+                for group, a, b, old in touched[r]:
+                    if a == p or b == p:
+                        continue  # counted from p's bucket already
+                    na = p if a == r else a
+                    nb = p if b == r else b
+                    diff = dist[na][nb] - old
+                    if group == 0:
+                        delta_front += diff
+                    else:
+                        delta_ext += diff
+            dp, dr = decay[p], decay[r]
+            total = float(base_front + delta_front) * (dp if dp >= dr else dr)
+            if num_ext:
+                total += _EXTENDED_WEIGHT * float(base_ext + delta_ext) / num_ext
+            if best_score is None or total < best_score:
+                best_score = total
                 best_swap = swap
         assert best_swap is not None, "no swap candidates on a connected device"
-        out.append(Gate("swap", best_swap))
-        layout.swap_physical(*best_swap)
+        p, r = best_swap
+        out_op.append(_OP_SWAP)
+        out_q0.append(p)
+        out_q1.append(r)
+        out_param.append(0.0)
+        layout.swap_physical(p, r)
+        lp, lr = p2l[p], p2l[r]
+        p2l[p], p2l[r] = lr, lp
+        if lr != -1:
+            l2p[lr] = p
+        if lp != -1:
+            l2p[lp] = r
         swap_count += 1
-        decay[best_swap[0]] += _DECAY_STEP
-        decay[best_swap[1]] += _DECAY_STEP
+        decay[p] += _DECAY_STEP
+        decay[r] += _DECAY_STEP
         steps_since_reset += 1
         if steps_since_reset >= _DECAY_RESET_INTERVAL:
             decay = [1.0] * coupling.num_qubits
             steps_since_reset = 0
 
+    out = QuantumCircuit.from_tape(
+        GateTape.from_columns(coupling.num_qubits, out_op, out_q0, out_q1, out_param),
+        name=circuit.name,
+    )
     return RoutingResult(out, initial_layout, layout, swap_count)
 
 
 def validate_routed(circuit: QuantumCircuit, coupling: CouplingMap) -> None:
     """Raise if any two-qubit gate acts on a non-coupled pair."""
-    for gate in circuit:
-        if gate.num_qubits == 2:
-            a, b = gate.qubits
-            if not coupling.is_connected(a, b):
-                raise ValueError(f"gate {gate!r} acts on non-adjacent qubits")
+    tape = circuit.tape
+    for slot in tape.iter_slots():
+        q1 = tape.q1[slot]
+        if q1 != NO_SLOT and not coupling.is_connected(tape.q0[slot], q1):
+            raise ValueError(
+                f"gate {tape.gate_at(slot)!r} acts on non-adjacent qubits"
+            )
