@@ -1,0 +1,283 @@
+"""Serving-layer benchmark: cache hit latency and batch scaling.
+
+Two experiments, mirroring how the serving layer is used:
+
+* **cold vs warm** — the UCCSD-8 (paper scale) FT compile served through a
+  fresh cache (miss path: fingerprint, compile, serialize, store) against
+  the same request served from a populated cache (hit path: fingerprint,
+  lookup, deserialize).  The acceptance floor is a >= 20x warm speedup.
+* **batch scaling** — the Table-2 corpus (lattice families, the N2/H2S
+  molecules, Rand-30, and the QAOA/SC entries, heavies compiled under both
+  schedulers) pushed through ``compile_batch`` serially and with 4
+  workers.  The floor is >= 2x parallel speedup; jobs are ordered
+  heaviest-first so the pool's greedy pulls approximate LPT scheduling.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # CI gate
+
+``--smoke`` shrinks the corpus, keeps the cache-hit check, and skips the
+worker-scaling *floor* (CI runners have unpredictable core counts) while
+still exercising the pool path.  ``--out``/``--baseline`` match
+``bench_kernels.py``: JSON dump plus a fail-if-halved regression gate on
+the recorded speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core import compile_program
+from repro.service import CompileCache, compile_batch
+from repro.workloads import build_benchmark
+
+#: Table-2 corpus for the scaling experiment, heaviest first.  The two
+#: multi-second entries also run under their non-default scheduler so no
+#: single job dominates the 4-worker critical path.
+TABLE2_CORPUS: List[Dict] = [
+    {"benchmark": "Rand-30", "scale": "paper"},
+    {"benchmark": "Rand-30", "scale": "paper", "scheduler": "do",
+     "label": "Rand-30/do"},
+    {"benchmark": "H2S", "scale": "paper"},
+    {"benchmark": "H2S", "scale": "paper", "scheduler": "do", "label": "H2S/do"},
+    {"benchmark": "N2", "scale": "paper"},
+    {"benchmark": "N2", "scale": "paper", "scheduler": "do", "label": "N2/do"},
+    {"benchmark": "TSP-5", "scale": "paper"},
+    {"benchmark": "UCCSD-8", "scale": "paper"},
+    {"benchmark": "Heisen-3D", "scale": "paper"},
+    {"benchmark": "Heisen-2D", "scale": "paper"},
+    {"benchmark": "REG-20-4", "scale": "paper"},
+    {"benchmark": "Ising-1D", "scale": "paper"},
+]
+
+SMOKE_CORPUS: List[Dict] = [
+    {"benchmark": "UCCSD-8", "scale": "paper"},
+    {"benchmark": "N2", "scale": "small"},
+    {"benchmark": "Heisen-2D", "scale": "paper"},
+    {"benchmark": "Heisen-1D", "scale": "paper"},
+    {"benchmark": "REG-20-4", "scale": "small"},
+    {"benchmark": "Ising-1D", "scale": "paper"},
+    # Exact duplicate: must be deduped, not compiled twice.
+    {"benchmark": "Ising-1D", "scale": "paper", "label": "Ising-1D-dup"},
+]
+
+
+def effective_cores() -> int:
+    """CPUs this process may actually use (affinity/cgroup aware-ish)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _best_of(fn, repeats: int) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def bench_cache_hit(repeats: int, workdir: Path) -> Dict:
+    """Cold (miss path, fresh store each run) vs warm (hit path) latency."""
+    program = build_benchmark("UCCSD-8", "paper")
+
+    cold_root = workdir / "cold"
+
+    def cold_run():
+        shutil.rmtree(cold_root, ignore_errors=True)
+        result = compile_program(
+            program, backend="ft", cache=CompileCache(cold_root)
+        )
+        assert not result.from_cache
+
+    warm_cache = CompileCache(workdir / "warm")
+    compile_program(program, backend="ft", cache=warm_cache)
+
+    def warm_run():
+        result = compile_program(program, backend="ft", cache=warm_cache)
+        assert result.from_cache
+
+    cold = _best_of(cold_run, repeats)
+    warm = _best_of(warm_run, max(repeats * 5, 50))
+
+    warm_cache.clear_memory()
+    start = time.perf_counter()
+    disk_result = compile_program(program, backend="ft", cache=warm_cache)
+    disk = time.perf_counter() - start
+    assert disk_result.from_cache and warm_cache.stats.disk_hits >= 1
+
+    return {
+        "workload": "UCCSD-8", "kernel": "cache_hit",
+        "cold_ms": cold * 1e3, "warm_ms": warm * 1e3,
+        "disk_hit_ms": disk * 1e3,
+        "speedup": cold / warm,
+    }
+
+
+def bench_batch_scaling(corpus: List[Dict], workers: int, repeats: int,
+                        workdir: Path) -> Dict:
+    """Serial vs ``workers``-wide batch wall time on a fresh store each run."""
+
+    def run(n_workers: int) -> float:
+        def once():
+            root = workdir / f"batch-{n_workers}"
+            shutil.rmtree(root, ignore_errors=True)
+            batch = compile_batch(corpus, cache=CompileCache(root),
+                                  workers=n_workers)
+            assert len(batch.entries) == len(corpus)
+        return _best_of(once, repeats)
+
+    serial = run(1)
+    parallel = run(workers)
+    return {
+        "workload": "table2-corpus", "kernel": f"batch_{workers}w",
+        "jobs": len(corpus), "cores": effective_cores(),
+        "serial_s": serial, "parallel_s": parallel,
+        "speedup": serial / parallel,
+    }
+
+
+def bench_warm_batch(corpus: List[Dict], workdir: Path) -> Dict:
+    """A second pass over the same corpus must be all cache hits."""
+    root = workdir / "warm-batch"
+    cache = CompileCache(root)
+    compile_batch(corpus, cache=cache, workers=1)
+    start = time.perf_counter()
+    batch = compile_batch(corpus, cache=cache, workers=1)
+    elapsed = time.perf_counter() - start
+    assert all(entry.cached or entry.deduped for entry in batch.entries), (
+        "second batch pass was not fully served from the cache"
+    )
+    return {
+        "workload": "table2-corpus", "kernel": "warm_batch",
+        "jobs": len(corpus), "wall_s": elapsed,
+        "hits": sum(1 for e in batch.entries if e.cached),
+    }
+
+
+def check_baseline(rows: List[Dict], path: str) -> List[str]:
+    """Fail any speedup that halved against the committed baseline (ratio
+    comparison divides out absolute machine speed, as in bench_kernels)."""
+    with open(path) as handle:
+        baseline = json.load(handle)["kernels"]
+    problems = []
+    for row in rows:
+        if "speedup" not in row:
+            continue
+        if row["kernel"].startswith("batch_"):
+            # Worker scaling depends on the host's core count, which the
+            # committed baseline cannot know; gated by the 2x floor instead.
+            continue
+        key = f"{row['workload']}/{row['kernel']}"
+        recorded = baseline.get(key)
+        if recorded is None:
+            problems.append(f"{key}: no committed baseline entry")
+        elif row["speedup"] < recorded["speedup"] / 2.0:
+            problems.append(
+                f"{key}: speedup {row['speedup']:.1f}x fell below half the "
+                f"committed baseline {recorded['speedup']:.1f}x"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: smaller corpus, no scaling floor")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=None,
+                        help="write timing rows to this JSON file")
+    parser.add_argument("--baseline", default=None,
+                        help="fail if any speedup halved vs this baseline JSON")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (3 if args.smoke else 5)
+    corpus = SMOKE_CORPUS if args.smoke else TABLE2_CORPUS
+    warm_floor = 10.0 if args.smoke else 20.0
+
+    rows = []
+    failed = False
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+
+        row = bench_cache_hit(repeats, workdir)
+        rows.append(row)
+        print(
+            f"cache hit   UCCSD-8/ft  cold {row['cold_ms']:8.2f}ms  "
+            f"warm {row['warm_ms']:6.3f}ms  disk-hit {row['disk_hit_ms']:6.3f}ms  "
+            f"-> {row['speedup']:5.1f}x"
+        )
+        if row["speedup"] < warm_floor:
+            print(
+                f"FAIL: warm cache hit speedup {row['speedup']:.1f}x below "
+                f"the {warm_floor:.0f}x floor", file=sys.stderr,
+            )
+            failed = True
+
+        row = bench_batch_scaling(corpus, args.workers, repeats if args.smoke else 2,
+                                  workdir)
+        rows.append(row)
+        cores = row["cores"]
+        print(
+            f"batch       {row['jobs']} jobs      serial {row['serial_s']:7.2f}s  "
+            f"{args.workers}-worker {row['parallel_s']:7.2f}s  "
+            f"-> {row['speedup']:5.2f}x  ({cores} core(s))"
+        )
+        # Wall-clock scaling needs physical parallelism: the 2x floor is
+        # only meaningful with >= 4 usable cores.  On narrower machines the
+        # number is recorded but not gated (a 4-worker pool on 1 core can
+        # only lose).
+        if not args.smoke and cores >= 4 and row["speedup"] < 2.0:
+            print(
+                f"FAIL: {args.workers}-worker batch speedup "
+                f"{row['speedup']:.2f}x below the 2x floor", file=sys.stderr,
+            )
+            failed = True
+        elif not args.smoke and cores < 4:
+            print(
+                f"note: scaling floor skipped ({cores} usable core(s) < 4); "
+                f"speedup recorded for reference only"
+            )
+
+        row = bench_warm_batch(corpus, workdir)
+        rows.append(row)
+        print(
+            f"warm batch  {row['jobs']} jobs      wall {row['wall_s']:7.3f}s  "
+            f"({row['hits']} hits)"
+        )
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(
+                {"mode": "smoke" if args.smoke else "full",
+                 "workers": args.workers, "repeats": repeats, "rows": rows},
+                handle, indent=2,
+            )
+        print(f"\nwrote timings to {args.out}")
+
+    if args.baseline:
+        for problem in check_baseline(rows, args.baseline):
+            print(f"FAIL: {problem}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("\nserving-layer floors satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

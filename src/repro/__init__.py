@@ -13,6 +13,8 @@ Public API tour
   QAOA-compiler comparators.
 * :mod:`repro.workloads` — benchmark generators (Table 1).
 * :mod:`repro.noise` — error models, ESP and noisy execution (Figure 11).
+* :mod:`repro.service` — serving layer: content-addressed compile cache
+  and the parallel batch compilation service.
 """
 
 from .ir import PauliBlock, PauliProgram, WeightedString

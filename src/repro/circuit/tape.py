@@ -20,6 +20,7 @@ numpy element access by a wide margin.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterator, List, Tuple
 
 from .gates import OP_ROTATION as _OP_ROTATION
@@ -87,10 +88,8 @@ class GateTape:
         n = len(op)
         tape.alive = [True] * n
         tape.alive_count = n
-        counts = [0] * len(OPCODES)
-        for code in op:
-            counts[code] += 1
-        tape.counts = counts
+        by_code = Counter(op)
+        tape.counts = [by_code.get(code, 0) for code in range(len(OPCODES))]
         tape.nxt0 = []
         tape.prv0 = []
         tape.nxt1 = []

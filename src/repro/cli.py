@@ -5,6 +5,9 @@ Commands
 * ``list`` — show the benchmark registry (Table 1 names);
 * ``compile NAME`` — compile one benchmark with Paulihedral and print the
   paper metrics, optionally against the baselines;
+* ``compile-batch SPECS.jsonl`` — serve a JSONL stream of program specs
+  through the content-addressed cache and worker pool, writing one JSONL
+  artifact row per input plus a cache-stats summary;
 * ``table1|table2|table3|table4|fig11`` — regenerate one experiment and
   print the report table.
 """
@@ -12,6 +15,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -100,6 +104,78 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _cmd_compile_batch(args) -> int:
+    from .service import CompileCache, compile_batch, result_from_dict
+
+    try:
+        with open(args.specs) as handle:
+            specs = [
+                json.loads(line)
+                for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read spec file {args.specs!r}: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print(f"no job specs found in {args.specs!r}", file=sys.stderr)
+        return 2
+
+    cache = CompileCache(args.cache) if args.cache else CompileCache()
+    try:
+        batch = compile_batch(specs, cache=cache, workers=args.workers)
+    except ValueError as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        metrics_by_fp = {}
+        with open(args.out, "w") as handle:
+            for entry in batch.entries:
+                artifact = json.loads(entry.artifact)
+                # Entries sharing a fingerprint share a byte-identical
+                # artifact; rebuild the gate tape only once per unique one.
+                metrics = metrics_by_fp.get(entry.fingerprint)
+                if metrics is None:
+                    metrics = result_from_dict(artifact).metrics
+                    metrics_by_fp[entry.fingerprint] = metrics
+                handle.write(json.dumps({
+                    "index": entry.index,
+                    "label": entry.label,
+                    "fingerprint": entry.fingerprint,
+                    "cached": entry.cached,
+                    "deduped": entry.deduped,
+                    "seconds": entry.seconds,
+                    "metrics": metrics,
+                    "artifact": artifact,
+                }, sort_keys=True) + "\n")
+
+    summary = batch.summary()
+    rows = [[
+        entry.index, entry.label,
+        "hit" if entry.cached else ("dedup" if entry.deduped else "compiled"),
+        f"{entry.seconds:.3f}s", entry.fingerprint[:12],
+    ] for entry in batch.entries]
+    print(format_table(["#", "Job", "Source", "Time", "Fingerprint"], rows))
+    stats = summary.pop("cache", {})
+    print(
+        f"jobs={summary['jobs']} unique={summary['unique']} "
+        f"dispatched={summary['dispatched']} cache_hits={summary['cache_hits']} "
+        f"deduped={summary['deduped']} workers={summary['workers']} "
+        f"wall={summary['wall_seconds']:.3f}s"
+    )
+    if stats:
+        print(
+            f"cache: hits={stats['hits']} (memory {stats['memory_hits']}, "
+            f"disk {stats['disk_hits']}) misses={stats['misses']} "
+            f"puts={stats['puts']} evictions={stats['evictions']} "
+            f"merged={stats['merged']}"
+        )
+    if args.out:
+        print(f"wrote {len(batch.entries)} artifact rows to {args.out}")
+    return 0
+
+
 def _cmd_table1(args) -> int:
     rows = table1_inventory(scale=args.scale)
     print(format_table(
@@ -184,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
              "SC benchmark routes through the device coupling map",
     )
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser(
+        "compile-batch",
+        help="compile a JSONL stream of program specs through the cache "
+             "and worker pool (see repro.service.batch for the spec schema)",
+    )
+    p.add_argument("specs", help="JSONL file, one job spec per line")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width (1 = serial, no pool)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="on-disk cache directory (default: in-memory only)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write one JSONL artifact row per input job")
+    p.set_defaults(func=_cmd_compile_batch)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--scale", default="small", choices=["small", "paper"])

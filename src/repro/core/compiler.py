@@ -19,7 +19,7 @@ Backends:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
@@ -27,6 +27,9 @@ from ..pauli import PauliString
 from ..transpile import CouplingMap, Layout
 from .ft_backend import ft_compile
 from .sc_backend import sc_compile
+
+if TYPE_CHECKING:  # deferred at runtime: repro.service imports this module
+    from ..service.cache import CompileCache
 
 __all__ = ["CompilationResult", "compile_program"]
 
@@ -41,6 +44,10 @@ class CompilationResult:
     emitted_terms: List[Tuple[PauliString, float]] = field(default_factory=list)
     initial_layout: Optional[Layout] = None
     final_layout: Optional[Layout] = None
+    #: Content hash of (program, options); set when compiled with a cache.
+    fingerprint: Optional[str] = None
+    #: True when this result was served from a cache rather than compiled.
+    from_cache: bool = False
 
     @property
     def metrics(self) -> Dict[str, int]:
@@ -61,6 +68,7 @@ def compile_program(
     edge_error: Optional[Dict[Tuple[int, int], float]] = None,
     run_peephole: bool = True,
     restarts: int = 1,
+    cache: Optional["CompileCache"] = None,
 ) -> CompilationResult:
     """Compile a Pauli IR program with Paulihedral.
 
@@ -83,34 +91,79 @@ def compile_program(
     restarts:
         SC backend only: number of jittered initial-placement attempts; the
         lowest-CNOT result wins (deterministic, first attempt unjittered).
+    cache:
+        Optional :class:`~repro.service.cache.CompileCache`.  The program
+        and options are content-fingerprinted; on a hit the stored artifact
+        is deserialized and returned (``result.from_cache`` is ``True``),
+        on a miss the compilation runs and its artifact is stored.
     """
     if backend == "ft":
-        result = ft_compile(
-            program, scheduler=scheduler or "gco", run_peephole=run_peephole
-        )
-        return CompilationResult(
-            circuit=result.circuit,
-            backend="ft",
-            scheduler=scheduler or "gco",
-            emitted_terms=result.emitted_terms,
-        )
-    if backend == "sc":
+        resolved_scheduler = scheduler or "gco"
+    elif backend == "sc":
         if coupling is None:
             raise ValueError("the SC backend requires a coupling map")
-        result = sc_compile(
+        resolved_scheduler = scheduler or "do"
+    else:
+        raise ValueError(f"unknown backend {backend!r}; expected 'ft' or 'sc'")
+
+    fingerprint: Optional[str] = None
+    if cache is not None:
+        # Deferred import: repro.service depends on this module.
+        from ..service.artifact import dumps_artifact, loads_artifact
+        from ..service.fingerprint import canonical_options, compile_fingerprint
+
+        fingerprint = compile_fingerprint(
+            program,
+            canonical_options(
+                backend=backend,
+                scheduler=resolved_scheduler,
+                coupling=coupling,
+                edge_error=edge_error,
+                run_peephole=run_peephole,
+                restarts=restarts,
+            ),
+        )
+        stored = cache.get(fingerprint)
+        if stored is not None:
+            try:
+                result = loads_artifact(stored)
+            except (ValueError, KeyError, TypeError, AttributeError):
+                # Stale artifact version or corrupted entry: a cache hit
+                # must never be worse than a miss — recompile and overwrite.
+                result = None
+            if result is not None:
+                result.fingerprint = fingerprint
+                result.from_cache = True
+                return result
+
+    if backend == "ft":
+        ft_result = ft_compile(
+            program, scheduler=resolved_scheduler, run_peephole=run_peephole
+        )
+        result = CompilationResult(
+            circuit=ft_result.circuit,
+            backend="ft",
+            scheduler=resolved_scheduler,
+            emitted_terms=ft_result.emitted_terms,
+        )
+    else:
+        sc_result = sc_compile(
             program,
             coupling,
-            scheduler=scheduler or "do",
+            scheduler=resolved_scheduler,
             edge_error=edge_error,
             run_peephole=run_peephole,
             restarts=restarts,
         )
-        return CompilationResult(
-            circuit=result.circuit,
+        result = CompilationResult(
+            circuit=sc_result.circuit,
             backend="sc",
-            scheduler=scheduler or "do",
-            emitted_terms=result.emitted_terms,
-            initial_layout=result.initial_layout,
-            final_layout=result.final_layout,
+            scheduler=resolved_scheduler,
+            emitted_terms=sc_result.emitted_terms,
+            initial_layout=sc_result.initial_layout,
+            final_layout=sc_result.final_layout,
         )
-    raise ValueError(f"unknown backend {backend!r}; expected 'ft' or 'sc'")
+    result.fingerprint = fingerprint
+    if cache is not None:
+        cache.put(fingerprint, dumps_artifact(result))
+    return result

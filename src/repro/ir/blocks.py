@@ -15,6 +15,7 @@ constraints").
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -123,6 +124,28 @@ class BlockView:
 def _mask_to_qubits(mask: np.ndarray, num_qubits: int) -> Tuple[int, ...]:
     bits = np.unpackbits(mask, bitorder="little", count=num_qubits)
     return tuple(int(q) for q in np.nonzero(bits)[0])
+
+
+def encode_symplectic_rows(codes: np.ndarray, coefficients) -> bytes:
+    """Sorted canonical record block for ``(m, n)`` Pauli codes + coefficients.
+
+    Each record is the bit-packed symplectic X part, Z part, and the
+    little-endian IEEE-754 coefficient; records are sorted bytewise so the
+    encoding is term-order-insensitive.  Shared by
+    :meth:`PauliBlock.canonical_bytes` and the one-sweep
+    :meth:`~repro.ir.program.PauliProgram.canonical_form` fast path, which
+    must produce identical bytes.
+    """
+    x = np.packbits(codes & 1, axis=1, bitorder="little")
+    z = np.packbits(codes >> 1, axis=1, bitorder="little")
+    # "+ 0.0" collapses -0.0 onto +0.0 so the two encode identically.
+    coeff_bytes = (np.asarray(coefficients, dtype="<f8") + 0.0).tobytes()
+    rows = [
+        x[i].tobytes() + z[i].tobytes() + coeff_bytes[8 * i: 8 * i + 8]
+        for i in range(len(coefficients))
+    ]
+    rows.sort()
+    return struct.pack("<I", len(rows)) + b"".join(rows)
 
 
 class PauliBlock:
@@ -263,6 +286,30 @@ class PauliBlock:
 
     def with_strings(self, strings: Sequence[WeightedString]) -> "PauliBlock":
         return PauliBlock(strings, self.parameter, self.name)
+
+    def canonical_bytes(self) -> bytes:
+        """Order-insensitive canonical encoding of this block's semantics.
+
+        One record per string — the packed symplectic X and Z parts followed
+        by the IEEE-754 encoding of the *effective* coefficient
+        ``weight * parameter`` — with the records sorted bytewise.  Two
+        blocks that differ only in string order, in how the coefficient is
+        split between weight and parameter, or in how a coefficient literal
+        was formatted, encode identically; blocks with different semantics
+        encode differently (up to float representability).
+
+        This is the per-block unit the serving layer's content fingerprint
+        (:mod:`repro.service.fingerprint`) is built from.  The packing goes
+        straight from the raw code bytes (one :func:`numpy.packbits` sweep)
+        rather than through :class:`BlockView`, so fingerprinting a program
+        never triggers view construction it doesn't otherwise need.
+        """
+        codes = np.frombuffer(
+            b"".join(ws.string.codes for ws in self._strings), dtype=np.uint8
+        ).reshape(len(self._strings), self.num_qubits)
+        return encode_symplectic_rows(
+            codes, [ws.weight * self.parameter for ws in self._strings]
+        )
 
     def lex_key(self) -> Tuple[int, ...]:
         """Block-level lexicographic key: the *minimum* of its strings' keys.

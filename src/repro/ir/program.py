@@ -8,12 +8,13 @@ commutativity is the licence the scheduling passes (Section 4) rely on.
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from ..pauli import PauliString
-from .blocks import PauliBlock, WeightedString
+from .blocks import PauliBlock, WeightedString, encode_symplectic_rows
 
 __all__ = ["PauliProgram"]
 
@@ -36,6 +37,7 @@ class PauliProgram:
                 )
         self._blocks = block_list
         self.name = name
+        self._canonical: bytes = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -105,6 +107,55 @@ class PauliProgram:
             key = (ws.string, ws.weight * parameter)
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def canonical_form(self) -> bytes:
+        """Order-insensitive canonical encoding of the program's semantics.
+
+        Concatenates the qubit count with every block's
+        :meth:`~repro.ir.blocks.PauliBlock.canonical_bytes`, the block
+        encodings themselves sorted bytewise.  Since block order and string
+        order are semantically irrelevant (the operator is a sum), two
+        programs that are term-reorderings or coefficient-reformattings of
+        each other share one canonical form, while semantically distinct
+        programs differ.  The serving layer hashes this to content-address
+        compilation artifacts; the program ``name`` is deliberately
+        excluded (it is metadata, not semantics).
+
+        Programs are immutable, so the encoding is computed once and cached
+        (the serving layer re-fingerprints the same program on every
+        cache-hit lookup).  All blocks are packed in **one** symplectic
+        sweep — per-block packing calls dominate fingerprint latency on
+        one-string-per-block Hamiltonians with thousands of terms.
+        """
+        if self._canonical is None:
+            n = self.num_qubits
+            codes = np.frombuffer(
+                b"".join(
+                    ws.string.codes for block in self._blocks for ws in block
+                ),
+                dtype=np.uint8,
+            ).reshape(-1, n)
+            coefficients = [
+                ws.weight * block.parameter
+                for block in self._blocks
+                for ws in block
+            ]
+            encoded = []
+            offset = 0
+            for block in self._blocks:
+                count = block.num_strings
+                encoded.append(encode_symplectic_rows(
+                    codes[offset:offset + count],
+                    coefficients[offset:offset + count],
+                ))
+                offset += count
+            encoded.sort()
+            self._canonical = (
+                b"pauli-program-v1"
+                + struct.pack("<II", n, len(encoded))
+                + b"".join(encoded)
+            )
+        return self._canonical
 
     # ------------------------------------------------------------------
     # Transformations

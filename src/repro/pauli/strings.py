@@ -24,6 +24,18 @@ from . import operators as ops
 
 __all__ = ["PauliString"]
 
+#: Label byte -> Pauli code; everything outside "IXYZ" maps to 0xFF, which
+#: the constructor's 0..3 range check rejects.
+_LABEL_TRANSLATION = bytes(
+    ops.LABEL_TO_CODE.get(chr(byte), 0xFF) for byte in range(256)
+)
+
+#: Interned strings by label.  PauliString is immutable and hashable, so
+#: sharing instances is safe; the cap bounds memory against adversarial
+#: label streams (fuzzers) while real workloads reuse a few hundred labels.
+_INTERNED = {}
+_INTERN_CAP = 1 << 16
+
 
 class PauliString:
     """An immutable n-qubit Pauli string.
@@ -47,10 +59,10 @@ class PauliString:
 
     def __init__(self, codes: Iterable[int]):
         data = bytes(codes)
-        if any(c > 3 for c in data):
-            raise ValueError("Pauli codes must be in 0..3")
         if not data:
             raise ValueError("a Pauli string must act on at least one qubit")
+        if max(data) > 3:
+            raise ValueError("Pauli codes must be in 0..3")
         self._codes = data
         self._hash = hash(data)
 
@@ -59,8 +71,38 @@ class PauliString:
     # ------------------------------------------------------------------
     @classmethod
     def from_label(cls, label: str) -> "PauliString":
-        """Build from a text label, leftmost character = highest qubit."""
-        return cls(ops.code_of(ch) for ch in reversed(label))
+        """Build from a text label, leftmost character = highest qubit.
+
+        Instances are interned by label (immutability makes sharing safe);
+        repeated labels — artifact deserialization, workload generators —
+        skip construction entirely.
+        """
+        cached = _INTERNED.get(label)
+        if cached is not None:
+            return cached
+        if not label:
+            raise ValueError("a Pauli string must act on at least one qubit")
+        try:
+            encoded = label.encode("ascii")
+        except UnicodeEncodeError:
+            encoded = None
+        string = None
+        if encoded is not None:
+            # Hot path: one translate call instead of a per-character dict
+            # lookup.  Invalid characters map above 3 and are rejected by
+            # the constructor's range scan.
+            codes = encoded[::-1].translate(_LABEL_TRANSLATION)
+            try:
+                string = cls(codes)
+            except ValueError:
+                string = None
+        if string is None:
+            raise ValueError(
+                f"invalid Pauli label {label!r}; expected characters I, X, Y, Z"
+            )
+        if len(_INTERNED) < _INTERN_CAP:
+            _INTERNED[label] = string
+        return string
 
     @classmethod
     def from_sparse(cls, num_qubits: int, terms: dict) -> "PauliString":

@@ -1,0 +1,49 @@
+"""Serving layer: content-addressed compile caching and batch compilation.
+
+The fourth architectural layer (above IR, scheduling, and synthesis): a
+deterministic compiler front that identifies every compilation by a content
+fingerprint, stores artifacts in a two-tier content-addressed cache, and
+shards batch traffic across worker processes with fingerprint dedupe.
+"""
+
+from .artifact import (
+    ARTIFACT_VERSION,
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps_artifact,
+    loads_artifact,
+    program_from_dict,
+    program_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from .batch import BatchEntry, BatchResult, compile_batch, resolve_spec
+from .cache import CacheStats, CompileCache
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_options,
+    compile_fingerprint,
+    program_fingerprint,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "FINGERPRINT_VERSION",
+    "BatchEntry",
+    "BatchResult",
+    "CacheStats",
+    "CompileCache",
+    "canonical_options",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "compile_batch",
+    "compile_fingerprint",
+    "dumps_artifact",
+    "loads_artifact",
+    "program_fingerprint",
+    "program_from_dict",
+    "program_to_dict",
+    "resolve_spec",
+    "result_from_dict",
+    "result_to_dict",
+]

@@ -1,0 +1,314 @@
+"""Sharded batch compilation over a process pool.
+
+``compile_batch`` takes a stream of JSON-able job specs, fingerprints every
+job up front, answers what it can from the shared cache, **dedupes**
+identical fingerprints (a heavy-traffic stream is dominated by repeats of
+near-identical kernels), and shards only the unique cache misses across a
+``ProcessPoolExecutor``.  Each worker keeps a private on-disk cache under
+``<root>/workers/``, and the parent folds those back into the shared store
+after the pool drains (:meth:`~repro.service.cache.CompileCache.merge_from`),
+so a artifact compiled by any worker is visible to every later batch.
+
+Job spec schema (one JSON object per job)::
+
+    {
+      "benchmark": "UCCSD-8",        # registry name ...
+      "scale": "small",              # ... with optional scale, OR
+      "program": {...},              # an explicit repro.service.artifact
+                                     #   program payload, OR
+      "text": "{(XX, 1.0), 0.5};",   # the Figure-5 textual IR
+      "backend": "ft",               # default: registry backend, else "ft"
+      "scheduler": "gco",            # default: backend default
+      "coupling": "manhattan_65",    # or {"num_qubits": n, "edges": [[a,b]..]};
+                                     #   default manhattan_65 for "sc"
+      "run_peephole": true,
+      "restarts": 1,
+      "label": "anything"            # echoed into the result row
+    }
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import PauliProgram, parse_program
+from ..transpile import CouplingMap, manhattan_65
+from .artifact import dumps_artifact, loads_artifact, program_from_dict, program_to_dict
+from .cache import CompileCache
+from .fingerprint import canonical_options, compile_fingerprint
+
+__all__ = ["BatchEntry", "BatchResult", "ResolvedJob", "resolve_spec", "compile_batch"]
+
+
+# ----------------------------------------------------------------------
+# Spec resolution
+# ----------------------------------------------------------------------
+
+@dataclass
+class ResolvedJob:
+    """A job spec normalized to (program, JSON-able option set, label)."""
+
+    program: PauliProgram
+    options: Dict
+    label: str
+
+    def fingerprint(self) -> str:
+        return compile_fingerprint(
+            self.program, canonical_options(**_option_kwargs(self.options))
+        )
+
+
+def _resolve_coupling(spec) -> Optional[CouplingMap]:
+    if spec is None:
+        return None
+    if spec == "manhattan_65":
+        return manhattan_65()
+    if isinstance(spec, dict):
+        return CouplingMap(
+            [tuple(edge) for edge in spec["edges"]],
+            num_qubits=spec.get("num_qubits"),
+        )
+    raise ValueError(f"unknown coupling spec {spec!r}")
+
+
+def _option_kwargs(options: Dict) -> Dict:
+    """Materialize a JSON-able option set into ``compile_program`` kwargs."""
+    edge_error = options.get("edge_error")
+    return {
+        "backend": options["backend"],
+        "scheduler": options["scheduler"],
+        "coupling": _resolve_coupling(options.get("coupling")),
+        "edge_error": (
+            {(int(a), int(b)): float(r) for a, b, r in edge_error}
+            if edge_error is not None else None
+        ),
+        "run_peephole": options.get("run_peephole", True),
+        "restarts": options.get("restarts", 1),
+    }
+
+
+def resolve_spec(spec: Dict) -> ResolvedJob:
+    """Normalize one job spec: build the program, default the options."""
+    backend = spec.get("backend")
+    if "benchmark" in spec:
+        from ..workloads import BENCHMARKS  # deferred: registry is heavy
+
+        name = spec["benchmark"]
+        registered = BENCHMARKS.get(name)
+        if registered is None:
+            raise ValueError(f"unknown benchmark {name!r}")
+        program = registered.build(spec.get("scale", "small"))
+        backend = backend or registered.backend
+        label = spec.get("label", name)
+    elif "program" in spec:
+        program = program_from_dict(spec["program"])
+        label = spec.get("label", program.name or "program")
+    elif "text" in spec:
+        program = parse_program(spec["text"], name=spec.get("label", ""))
+        label = spec.get("label", "text")
+    else:
+        raise ValueError(
+            "job spec needs one of 'benchmark', 'program', or 'text'"
+        )
+    backend = backend or "ft"
+    coupling = spec.get("coupling")
+    if coupling is None and backend == "sc":
+        coupling = "manhattan_65"
+    options = {
+        "backend": backend,
+        "scheduler": spec.get("scheduler") or ("gco" if backend == "ft" else "do"),
+        "coupling": coupling,
+        "edge_error": spec.get("edge_error"),
+        "run_peephole": spec.get("run_peephole", True),
+        "restarts": spec.get("restarts", 1),
+    }
+    return ResolvedJob(program=program, options=options, label=label)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_WORKER_CACHE: Optional[CompileCache] = None
+
+
+def _worker_init(cache_root: Optional[str], memory_entries: int) -> None:
+    global _WORKER_CACHE
+    if cache_root is None:
+        _WORKER_CACHE = None
+    else:
+        _WORKER_CACHE = CompileCache(
+            os.path.join(cache_root, "workers", f"worker-{os.getpid()}"),
+            memory_entries=memory_entries,
+        )
+
+
+def _worker_compile(payload: Tuple[str, Dict, Dict]) -> Tuple[str, str, float]:
+    """Compile one deduped job; returns (fingerprint, artifact, seconds)."""
+    from ..core.compiler import compile_program
+
+    fingerprint, program_dict, options = payload
+    program = program_from_dict(program_dict)
+    start = time.perf_counter()
+    result = compile_program(
+        program, cache=_WORKER_CACHE, **_option_kwargs(options)
+    )
+    elapsed = time.perf_counter() - start
+    return fingerprint, dumps_artifact(result), elapsed
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchEntry:
+    """One input job's outcome, in input order."""
+
+    index: int
+    label: str
+    fingerprint: str
+    #: Served straight from the shared cache, before any dispatch.
+    cached: bool
+    #: Same fingerprint as an earlier job in this batch (never dispatched).
+    deduped: bool
+    artifact: str
+    seconds: float
+
+    def result(self):
+        return loads_artifact(self.artifact)
+
+
+@dataclass
+class BatchResult:
+    entries: List[BatchEntry]
+    workers: int
+    wall_seconds: float
+    cache_stats: Optional[Dict] = None
+    merged_artifacts: int = 0
+    unique_jobs: int = 0
+    dispatched_jobs: int = 0
+
+    def summary(self) -> Dict:
+        out = {
+            "jobs": len(self.entries),
+            "unique": self.unique_jobs,
+            "dispatched": self.dispatched_jobs,
+            "cache_hits": sum(1 for e in self.entries if e.cached),
+            "deduped": sum(1 for e in self.entries if e.deduped),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "merged_artifacts": self.merged_artifacts,
+        }
+        if self.cache_stats is not None:
+            out["cache"] = self.cache_stats
+        return out
+
+
+def compile_batch(
+    specs: Sequence[Dict],
+    cache: Optional[CompileCache] = None,
+    workers: int = 1,
+    worker_memory_entries: int = 64,
+) -> BatchResult:
+    """Compile a stream of job specs, deduped and sharded across workers.
+
+    ``workers <= 1`` compiles serially in-process (no pool overhead), still
+    with fingerprint dedupe and cache reuse.
+    """
+    start = time.perf_counter()
+    jobs = [resolve_spec(spec) for spec in specs]
+    fingerprints = [job.fingerprint() for job in jobs]
+
+    # Shared-cache probe + fingerprint dedupe, in input order.
+    artifact_by_fp: Dict[str, str] = {}
+    seconds_by_fp: Dict[str, float] = {}
+    cached_fps = set()
+    first_index: Dict[str, int] = {}
+    pending: List[int] = []   # indices of unique jobs that must compile
+    for index, fp in enumerate(fingerprints):
+        if fp in first_index:
+            continue
+        first_index[fp] = index
+        if cache is not None:
+            stored = cache.get(fp)
+            if stored is not None:
+                artifact_by_fp[fp] = stored
+                seconds_by_fp[fp] = 0.0
+                cached_fps.add(fp)
+                continue
+        pending.append(index)
+
+    merged = 0
+    if pending and workers > 1:
+        cache_root = str(cache.root) if cache is not None and cache.root else None
+        payloads = [
+            (fingerprints[i], program_to_dict(jobs[i].program), jobs[i].options)
+            for i in pending
+        ]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(cache_root, worker_memory_entries),
+        ) as pool:
+            for fp, text, elapsed in pool.map(_worker_compile, payloads):
+                artifact_by_fp[fp] = text
+                seconds_by_fp[fp] = elapsed
+        # Fold the workers' private stores into the shared one *before* the
+        # parent's own puts (so `merged` reflects the pool's output), then
+        # drop them — their content now lives in the shared store.
+        if cache is not None and cache.root is not None:
+            workers_dir = cache.root / "workers"
+            if workers_dir.is_dir():
+                for worker_root in sorted(workers_dir.iterdir()):
+                    if worker_root.is_dir():
+                        merged += cache.merge_from(worker_root)
+                shutil.rmtree(workers_dir, ignore_errors=True)
+        if cache is not None:
+            for index in pending:
+                # adopt(): the merge above already placed these on disk.
+                cache.adopt(fingerprints[index], artifact_by_fp[fingerprints[index]])
+    elif pending:
+        from ..core.compiler import compile_program
+
+        for index in pending:
+            job = jobs[index]
+            fp = fingerprints[index]
+            # The batch-level probe above already counted this miss; compile
+            # without the cache and store explicitly (mirrors the pool path)
+            # so the stats see each lookup exactly once.
+            t0 = time.perf_counter()
+            result = compile_program(job.program, **_option_kwargs(job.options))
+            seconds_by_fp[fp] = time.perf_counter() - t0
+            result.fingerprint = fp
+            text = dumps_artifact(result)
+            artifact_by_fp[fp] = text
+            if cache is not None:
+                cache.put(fp, text)
+
+    entries = [
+        BatchEntry(
+            index=index,
+            label=job.label,
+            fingerprint=fp,
+            cached=fp in cached_fps,
+            deduped=first_index[fp] != index,
+            artifact=artifact_by_fp[fp],
+            seconds=seconds_by_fp[fp] if first_index[fp] == index else 0.0,
+        )
+        for index, (job, fp) in enumerate(zip(jobs, fingerprints))
+    ]
+    return BatchResult(
+        entries=entries,
+        workers=max(1, workers),
+        wall_seconds=time.perf_counter() - start,
+        cache_stats=cache.stats.as_dict() if cache is not None else None,
+        merged_artifacts=merged,
+        unique_jobs=len(first_index),
+        dispatched_jobs=len(pending),
+    )

@@ -1,0 +1,213 @@
+"""Content-addressed compile cache: disk store + in-process LRU front.
+
+Artifacts are keyed by the hex fingerprint of their compilation
+(:mod:`repro.service.fingerprint`) and stored as JSON text.  Two tiers:
+
+* an in-process LRU dict bounded by ``memory_entries`` (hot keys answer
+  without touching the filesystem);
+* an optional on-disk store laid out git-style — ``root/ab/cdef...json``,
+  the first byte of the fingerprint as a fan-out directory — written via
+  temp-file + :func:`os.replace` so concurrent writers (batch workers
+  sharing a store, or several processes on one machine) can never expose a
+  torn artifact.  Writes are idempotent: content-addressing means any two
+  writers of one key write identical bytes.
+
+Every lookup outcome is counted (:class:`CacheStats`); the CLI's
+``compile-batch`` summary and the serving benchmark read these.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = ["CacheStats", "CompileCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`CompileCache` instance's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    merged: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        out = asdict(self)
+        out["hits"] = self.hits
+        out["lookups"] = self.lookups
+        return out
+
+
+class CompileCache:
+    """Two-tier content-addressed artifact store.
+
+    Parameters
+    ----------
+    root:
+        Directory of the on-disk store; created on first write.  ``None``
+        makes the cache memory-only (useful in tests and one-shot runs).
+    memory_entries:
+        LRU capacity of the in-process front; least-recently-used entries
+        spill out of memory but stay on disk.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 memory_entries: int = 256):
+        if memory_entries < 1:
+            raise ValueError("memory_entries must be positive")
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = int(memory_entries)
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Key layout
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> Path:
+        assert self.root is not None
+        return self.root / fingerprint[:2] / f"{fingerprint[2:]}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[str]:
+        """Artifact text for ``fingerprint``, or ``None`` on a miss.
+
+        A disk hit is promoted into the memory front.
+        """
+        with self._lock:
+            text = self._memory.get(fingerprint)
+            if text is not None:
+                self._memory.move_to_end(fingerprint)
+                self.stats.memory_hits += 1
+                return text
+        if self.root is not None:
+            try:
+                text = self._path(fingerprint).read_text()
+            except (FileNotFoundError, NotADirectoryError):
+                text = None
+            if text is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._remember(fingerprint, text)
+                return text
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, text: str) -> None:
+        """Store artifact text under ``fingerprint`` in both tiers."""
+        if self.root is not None:
+            self._write_disk(fingerprint, text)
+        with self._lock:
+            self.stats.puts += 1
+            self._remember(fingerprint, text)
+
+    def adopt(self, fingerprint: str, text: str) -> None:
+        """Like :meth:`put`, but skips the disk write when the key is
+        already stored — content-addressing makes any existing bytes
+        identical.  Used by the batch service to promote just-merged
+        artifacts into the memory front without rewriting them."""
+        if self.root is not None and not self._path(fingerprint).exists():
+            self._write_disk(fingerprint, text)
+        with self._lock:
+            self.stats.puts += 1
+            self._remember(fingerprint, text)
+
+    def _remember(self, fingerprint: str, text: str) -> None:
+        """Insert into the LRU front, evicting beyond capacity.  Caller
+        holds the lock."""
+        self._memory[fingerprint] = text
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _write_disk(self, fingerprint: str, text: str) -> None:
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
+        return self.root is not None and self._path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        """Number of artifacts in the store (disk when present, else memory)."""
+        if self.root is None:
+            with self._lock:
+                return len(self._memory)
+        return sum(1 for _ in self.iter_fingerprints())
+
+    def iter_fingerprints(self) -> Iterator[str]:
+        """All fingerprints in the disk store (memory-only: the LRU keys)."""
+        if self.root is None:
+            with self._lock:
+                yield from list(self._memory)
+            return
+        if not self.root.is_dir():
+            return
+        for fanout in sorted(self.root.iterdir()):
+            if not fanout.is_dir() or len(fanout.name) != 2:
+                continue
+            for entry in sorted(fanout.iterdir()):
+                if entry.suffix == ".json":
+                    yield fanout.name + entry.stem
+
+    def clear_memory(self) -> None:
+        """Drop the LRU front (the disk store is untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    def merge_from(self, other_root: os.PathLike) -> int:
+        """Adopt every artifact of another on-disk store not already held.
+
+        Used to fold batch workers' private stores back into the shared
+        one; returns the number of artifacts copied.
+        """
+        if self.root is None:
+            raise ValueError("cannot merge into a memory-only cache")
+        other = CompileCache(other_root, memory_entries=1)
+        copied = 0
+        for fingerprint in other.iter_fingerprints():
+            path = self._path(fingerprint)
+            if path.exists():
+                continue
+            text = other._path(fingerprint).read_text()
+            self._write_disk(fingerprint, text)
+            copied += 1
+        self.stats.merged += copied
+        return copied

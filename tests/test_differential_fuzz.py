@@ -1,0 +1,242 @@
+"""Differential fuzzing of the whole compile pipeline.
+
+Hypothesis generates random Pauli programs (mixed weights, angles, and
+block shapes on up to 8 qubits) and compiles them through both backends at
+every generic ``--opt-level``.  Two independent oracles check every case:
+
+* the **naive baseline** — the paper's one-string-at-a-time chain synthesis
+  (:func:`repro.core.synthesis.pauli_rotation_gates`), applied to the
+  compiler's emitted term order, must be statevector-equivalent to the
+  compiled circuit at every opt level;
+* the **PR-2 reference engine** — the seed peephole/router implementations
+  kept in :mod:`repro.transpile.reference` must agree with the worklist
+  engine on the same frontend emissions.
+
+On top of the per-case unitary check, the emitted term multiset must equal
+the program's IR multiset exactly (the scheduling licence), and the SC
+backend's layout bookkeeping is folded into the oracle via permutation
+matrices.
+
+Falsifying examples found during development are committed to
+``tests/corpora/differential_regressions.jsonl`` and replayed verbatim by
+``test_regression_corpus`` so they can never come back.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import layout_permutation
+from repro.circuit import QuantumCircuit
+from repro.circuit.statevector import simulate
+from repro.core import compile_program
+from repro.core.synthesis import pauli_rotation_gates
+from repro.ir import PauliBlock, PauliProgram
+from repro.pauli import PauliString
+from repro.service import program_from_dict, program_to_dict
+from repro.transpile import linear, optimize, route, transpile
+from repro.transpile.reference import seed_optimize, seed_route
+
+CORPUS = Path(__file__).parent / "corpora" / "differential_regressions.jsonl"
+OPT_LEVELS = (0, 1, 2, 3)
+
+#: 2^8 = 256-dim statevectors keep every oracle evaluation cheap.
+MAX_QUBITS = 8
+
+
+# ----------------------------------------------------------------------
+# Program generator
+# ----------------------------------------------------------------------
+
+def _strings(draw, n, count):
+    out = []
+    for _ in range(count):
+        codes = [draw(st.integers(0, 3)) for _ in range(n)]
+        if all(c == 0 for c in codes):
+            # Identity strings are pure global phase; force one operator so
+            # every generated term exercises synthesis.
+            codes[draw(st.integers(0, n - 1))] = draw(st.integers(1, 3))
+        out.append(PauliString(codes))
+    return out
+
+
+_angles = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False).filter(
+    lambda x: abs(x) > 1e-9
+)
+
+
+@st.composite
+def pauli_programs(draw, max_qubits=MAX_QUBITS, max_blocks=3, max_strings=3):
+    n = draw(st.integers(2, max_qubits))
+    blocks = []
+    for _ in range(draw(st.integers(1, max_blocks))):
+        strings = _strings(draw, n, draw(st.integers(1, max_strings)))
+        weights = [draw(_angles) for _ in strings]
+        parameter = draw(_angles)
+        blocks.append(PauliBlock(list(zip(strings, weights)), parameter=parameter))
+    return PauliProgram(blocks, name="fuzz")
+
+
+def _random_state(num_qubits, seed=23):
+    rng = np.random.default_rng(seed)
+    dim = 2 ** num_qubits
+    state = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return state / np.linalg.norm(state)
+
+
+def _states_close(a, b, atol=1e-8):
+    """Statevector equality up to global phase."""
+    inner = np.vdot(a, b)
+    return np.isclose(abs(inner), 1.0, atol=atol)
+
+
+def _naive_chain_circuit(terms, num_qubits):
+    """The naive baseline: chain-synthesize ``exp(i c P)`` per term in order."""
+    qc = QuantumCircuit(num_qubits)
+    for string, coefficient in terms:
+        qc.extend(pauli_rotation_gates(string, -2.0 * coefficient))
+    return qc
+
+
+def _term_multiset(terms):
+    return Counter((string, coefficient) for string, coefficient in terms)
+
+
+# ----------------------------------------------------------------------
+# Differential properties
+# ----------------------------------------------------------------------
+
+def check_ft_case(program):
+    """FT backend vs the naive baseline, at every opt level."""
+    result = compile_program(program, backend="ft", run_peephole=False)
+    assert _term_multiset(result.emitted_terms) == Counter(
+        {k: v for k, v in program.multiset_of_terms().items()}
+    ), "scheduling changed the emitted term multiset"
+
+    n = program.num_qubits
+    state = _random_state(n)
+    reference = simulate(_naive_chain_circuit(result.emitted_terms, n), state)
+    for level in OPT_LEVELS:
+        compiled = transpile(result.circuit, optimization_level=level)
+        assert _states_close(simulate(compiled, state), reference), (
+            f"ft/opt-level {level} diverged from the naive baseline"
+        )
+
+
+def check_sc_case(program):
+    """SC backend (linear coupling) vs the naive baseline, every opt level.
+
+    The oracle folds the initial/final layouts in:
+    ``circuit == S_final . U(emitted) . S_init^dagger`` on a random state.
+    """
+    n = program.num_qubits
+    coupling = linear(n)
+    result = compile_program(
+        program, backend="sc", coupling=coupling, run_peephole=False
+    )
+    assert _term_multiset(result.emitted_terms) == Counter(
+        {k: v for k, v in program.multiset_of_terms().items()}
+    ), "SC scheduling changed the emitted term multiset"
+
+    state = _random_state(n)
+    s_init = layout_permutation(result.initial_layout, n)
+    s_final = layout_permutation(result.final_layout, n)
+    logical = s_init.conj().T @ state
+    reference = s_final @ simulate(
+        _naive_chain_circuit(result.emitted_terms, n), logical
+    )
+    for level in OPT_LEVELS:
+        compiled = transpile(result.circuit, optimization_level=level)
+        assert _states_close(simulate(compiled, state), reference), (
+            f"sc/opt-level {level} diverged from the naive baseline"
+        )
+
+
+def check_reference_engine_case(program):
+    """PR-2 oracle: worklist optimize vs seed optimize, router identity."""
+    result = compile_program(program, backend="ft", run_peephole=False)
+    emission = result.circuit
+    n = program.num_qubits
+
+    seed_out = seed_optimize(emission)
+    tape_out = optimize(emission)
+    assert len(seed_out) == len(tape_out)
+    assert seed_out.count_ops() == tape_out.count_ops()
+    state = _random_state(n)
+    assert _states_close(simulate(seed_out, state), simulate(tape_out, state)), (
+        "worklist optimize diverged from the seed engine"
+    )
+
+    coupling = linear(n)
+    seed_routed, _, _, seed_swaps = seed_route(seed_out, coupling)
+    tape_result = route(seed_out, coupling)
+    assert list(seed_routed.gates) == list(tape_result.circuit.gates), (
+        "incremental router diverged from the seed router"
+    )
+    assert seed_swaps == tape_result.swap_count
+
+
+# ----------------------------------------------------------------------
+# Fuzz entry points (>= 200 program/backend/opt-level cases in total:
+# 40 x 4 ft + 25 x 4 sc = 260, plus 30 reference-engine cases)
+# ----------------------------------------------------------------------
+
+@given(pauli_programs())
+@settings(max_examples=40, deadline=None)
+def test_ft_differential_fuzz(program):
+    check_ft_case(program)
+
+
+@given(pauli_programs(max_qubits=6))
+@settings(max_examples=25, deadline=None)
+def test_sc_differential_fuzz(program):
+    check_sc_case(program)
+
+
+@given(pauli_programs(max_qubits=6))
+@settings(max_examples=30, deadline=None)
+def test_reference_engine_differential_fuzz(program):
+    check_reference_engine_case(program)
+
+
+# ----------------------------------------------------------------------
+# Regression corpus replay
+# ----------------------------------------------------------------------
+
+def _corpus_cases():
+    cases = []
+    if CORPUS.exists():
+        for line in CORPUS.read_text().splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                cases.append(json.loads(line))
+    return cases
+
+
+_CHECKS = {
+    "ft": check_ft_case,
+    "sc": check_sc_case,
+    "reference": check_reference_engine_case,
+}
+
+
+@pytest.mark.parametrize(
+    "case", _corpus_cases(),
+    ids=lambda case: case.get("id", "case"),
+)
+def test_regression_corpus(case):
+    program = program_from_dict(case["program"])
+    _CHECKS[case["backend"]](program)
+
+
+@given(pauli_programs())
+@settings(max_examples=20, deadline=None)
+def test_corpus_format_round_trips_the_generator(program):
+    """The corpus format must express anything the generator can emit."""
+    assert program_from_dict(program_to_dict(program)).multiset_of_terms() == \
+        program.multiset_of_terms()

@@ -1,0 +1,176 @@
+"""Artifact round-trip tests over the full gate zoo.
+
+Unlike the QASM round trip (which expands ``yh`` and only promises unitary
+equivalence), the service artifact codec promises **gate-identical tapes**:
+serialize → deserialize must reproduce every opcode, operand pair, and
+IEEE-754 angle bit-for-bit, and re-serializing must reproduce the original
+document byte-for-byte.  The circuit generators are reused from the QASM
+round-trip suite so both codecs face the same zoo.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.core import compile_program
+from repro.ir import parse_program
+from repro.service import (
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps_artifact,
+    loads_artifact,
+    program_from_dict,
+    program_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.service.batch import compile_batch
+from repro.transpile import linear
+from test_qasm_roundtrip import GATE_ZOO_1Q, GATE_ZOO_2Q, GATE_ZOO_ROT, zoo_circuits
+
+
+def assert_tapes_identical(a: QuantumCircuit, b: QuantumCircuit) -> None:
+    """Live rows equal, column by column (opcode, operands, exact angle)."""
+    assert a.num_qubits == b.num_qubits
+    rows_a = [a.tape.row(slot) for slot in a.tape.iter_slots()]
+    rows_b = [b.tape.row(slot) for slot in b.tape.iter_slots()]
+    assert rows_a == rows_b
+
+
+@given(zoo_circuits())
+@settings(max_examples=60, deadline=None)
+def test_circuit_roundtrip_is_gate_identical(qc):
+    back = circuit_from_dict(circuit_to_dict(qc))
+    assert_tapes_identical(qc, back)
+    assert list(back.gates) == list(qc.gates)
+    assert back.count_ops() == qc.count_ops()
+    assert back.depth() == qc.depth()
+
+
+@given(zoo_circuits())
+@settings(max_examples=30, deadline=None)
+def test_reserialization_is_byte_identical(qc):
+    first = json.dumps(circuit_to_dict(qc), sort_keys=True)
+    second = json.dumps(
+        circuit_to_dict(circuit_from_dict(circuit_to_dict(qc))), sort_keys=True
+    )
+    assert first == second
+
+
+def test_every_zoo_gate_roundtrips_individually():
+    for name in GATE_ZOO_1Q:
+        qc = QuantumCircuit(1)
+        qc.append(Gate(name, (0,)))
+        assert_tapes_identical(qc, circuit_from_dict(circuit_to_dict(qc)))
+    for name in GATE_ZOO_ROT:
+        qc = QuantumCircuit(1)
+        # An angle with no short decimal form: exact IEEE-754 round trip.
+        qc.append(Gate(name, (0,), (math.pi / 7 + 1e-17,)))
+        back = circuit_from_dict(circuit_to_dict(qc))
+        assert back.gates[0].params == qc.gates[0].params
+    for name in GATE_ZOO_2Q:
+        qc = QuantumCircuit(2)
+        qc.append(Gate(name, (1, 0)))   # operand order must survive
+        back = circuit_from_dict(circuit_to_dict(qc))
+        assert back.gates[0].qubits == (1, 0)
+
+
+def test_circuit_metadata_preserved():
+    qc = QuantumCircuit(3, name="my-kernel")
+    qc.h(0).cx(0, 1).rz(0.25, 2)
+    back = circuit_from_dict(circuit_to_dict(qc))
+    assert back.name == "my-kernel"
+    assert back.num_qubits == 3
+
+
+class TestResultArtifacts:
+    def test_ft_result_roundtrip(self):
+        program = parse_program("{(XYZ, 0.5), (ZZI, -0.25), 0.7};")
+        result = compile_program(program, backend="ft")
+        back = loads_artifact(dumps_artifact(result))
+        assert_tapes_identical(result.circuit, back.circuit)
+        assert back.backend == "ft" and back.scheduler == result.scheduler
+        assert back.metrics == result.metrics
+        assert [(s.label, c) for s, c in back.emitted_terms] == \
+            [(s.label, c) for s, c in result.emitted_terms]
+        assert back.initial_layout is None and back.final_layout is None
+
+    def test_sc_result_roundtrip_preserves_layouts(self):
+        program = parse_program("{(ZIIZ, 1.0), 0.5};\n{(XXII, -0.5), 0.3};")
+        result = compile_program(program, backend="sc", coupling=linear(4))
+        back = loads_artifact(dumps_artifact(result))
+        assert back.metrics == result.metrics
+        for layout_pair in (
+            (back.initial_layout, result.initial_layout),
+            (back.final_layout, result.final_layout),
+        ):
+            got, want = layout_pair
+            assert sorted(got.physical_qubits()) == sorted(want.physical_qubits())
+            for p in want.physical_qubits():
+                assert got.logical(p) == want.logical(p)
+
+    def test_artifact_text_reserializes_byte_identically(self):
+        program = parse_program("{(XYZ, 0.5), 0.7};")
+        result = compile_program(program, backend="ft")
+        text = dumps_artifact(result)
+        assert dumps_artifact(loads_artifact(text)) == text
+
+    def test_version_gate(self):
+        program = parse_program("{(XY, 1.0), 0.5};")
+        payload = result_to_dict(compile_program(program, backend="ft"))
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+        circ = circuit_to_dict(QuantumCircuit(1).h(0))
+        circ["version"] = 0
+        with pytest.raises(ValueError, match="version"):
+            circuit_from_dict(circ)
+
+    def test_kind_gate(self):
+        circ = circuit_to_dict(QuantumCircuit(1).h(0))
+        with pytest.raises(ValueError, match="circuit"):
+            result_from_dict({**circ, "kind": "circuit"})
+
+
+class TestProgramArtifacts:
+    def test_program_roundtrip_preserves_everything(self):
+        program = parse_program(
+            "{(XYZI, 0.5), (IZZX, -0.25), 0.3};\n{(YIIX, 1.5), 1.0};",
+            name="transport",
+        )
+        back = program_from_dict(program_to_dict(program))
+        assert back.name == "transport"
+        assert back.num_qubits == program.num_qubits
+        assert back.multiset_of_terms() == program.multiset_of_terms()
+        assert [b.parameter for b in back] == [b.parameter for b in program]
+        assert [len(b) for b in back] == [len(b) for b in program]
+
+    def test_exact_weight_transport(self):
+        """The codec must beat the %g-formatted text IR on precision."""
+        from repro.ir import PauliBlock, PauliProgram
+        from repro.pauli import PauliString
+
+        weight = 0.1234567890123456789   # not representable in %g
+        program = PauliProgram([
+            PauliBlock([(PauliString.from_label("XZ"), weight)], parameter=1.0)
+        ])
+        back = program_from_dict(program_to_dict(program))
+        assert back[0][0].weight == program[0][0].weight
+
+
+def test_batch_entries_deserialize_to_equal_metrics(tmp_path):
+    specs = [
+        {"text": "{(XX, 1.0), (YY, 0.5), 0.3};", "label": "a"},
+        {"text": "{(ZZ, -0.5), 0.7};", "label": "b"},
+    ]
+    batch = compile_batch(specs)
+    for entry in batch.entries:
+        result = entry.result()
+        direct = compile_program(
+            parse_program(specs[entry.index]["text"]), backend="ft"
+        )
+        assert result.metrics == direct.metrics
+        assert_tapes_identical(result.circuit, direct.circuit)

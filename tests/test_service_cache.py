@@ -1,0 +1,321 @@
+"""Property tests for the serving layer's fingerprints and compile cache.
+
+The contract under test:
+
+* fingerprints are **stable** — across interpreter restarts (pinned digest
+  + a fresh-subprocess recomputation) and across machines (pure SHA-256 of
+  canonical bytes, no Python ``hash()``);
+* fingerprints are **canonical** — invariant under block reordering, term
+  reordering inside a block, splitting a coefficient between weight and
+  parameter, coefficient formatting, and program renaming;
+* fingerprints are **discriminating** — distinct programs and distinct
+  compile options get distinct digests;
+* a cache hit returns the **byte-identical** artifact a cold compile
+  produced, from both the memory and the disk tier, with every outcome
+  counted in the stats.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_program
+from repro.ir import PauliBlock, PauliProgram, parse_program
+from repro.pauli import PauliString
+from repro.service import (
+    CompileCache,
+    canonical_options,
+    compile_fingerprint,
+    dumps_artifact,
+    program_fingerprint,
+)
+from repro.transpile import linear
+
+FIXED_TEXT = "{(XYZI, 0.5), (IZZX, -0.25), 0.3};\n{(YIIX, 1.5), 1.0};"
+#: Pinned digests of FIXED_TEXT: any change to the canonical encoding or
+#: the hash construction must show up here as a deliberate version bump.
+FIXED_PROGRAM_FP = "5ddb36bd2cc3c206fb9f74539f5a3b3ccb1b44f7c757595fc3e7b2dbec3ee995"
+FIXED_COMPILE_FP = "90ac2986f9ad6338f3d103a90e77118f068bbad68712dd7070490f18f8e108cf"
+
+
+def fixed_program():
+    return parse_program(FIXED_TEXT)
+
+
+class TestFingerprintStability:
+    def test_pinned_program_digest(self):
+        assert program_fingerprint(fixed_program()) == FIXED_PROGRAM_FP
+
+    def test_pinned_compile_digest(self):
+        fp = compile_fingerprint(fixed_program(), canonical_options("ft", "gco"))
+        assert fp == FIXED_COMPILE_FP
+
+    def test_stable_across_interpreter_restarts(self):
+        """A fresh interpreter (fresh ``PYTHONHASHSEED``) must agree."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        code = (
+            "from repro.ir import parse_program\n"
+            "from repro.service import program_fingerprint\n"
+            f"print(program_fingerprint(parse_program({FIXED_TEXT!r})))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": str(src), "PYTHONHASHSEED": "random"},
+        )
+        assert out.stdout.strip() == FIXED_PROGRAM_FP
+
+
+class TestFingerprintCanonicalization:
+    def test_block_reordering(self):
+        a = parse_program("{(XX, 1.0), 0.5};\n{(ZZ, -1.0), 0.25};")
+        b = parse_program("{(ZZ, -1.0), 0.25};\n{(XX, 1.0), 0.5};")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_term_reordering_within_block(self):
+        a = parse_program("{(XX, 1.0), (YY, 2.0), (ZZ, 3.0), 0.5};")
+        b = parse_program("{(ZZ, 3.0), (XX, 1.0), (YY, 2.0), 0.5};")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_weight_parameter_split(self):
+        """Only the effective coefficient weight*parameter is semantic."""
+        a = PauliProgram([PauliBlock([(PauliString.from_label("XZ"), 0.5)],
+                                     parameter=2.0)])
+        b = PauliProgram([PauliBlock([(PauliString.from_label("XZ"), 1.0)],
+                                     parameter=1.0)])
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_coefficient_formatting(self):
+        a = parse_program("{(XY, 0.5), 1.0};")
+        b = parse_program("{(XY, 0.5000000000), 1.00};")
+        c = parse_program("{(XY, 5e-1), 1e0};")
+        assert program_fingerprint(a) == program_fingerprint(b) == program_fingerprint(c)
+
+    def test_negative_zero_coefficient(self):
+        a = PauliProgram([PauliBlock([(PauliString.from_label("XY"), 0.0)],
+                                     parameter=1.0)])
+        b = PauliProgram([PauliBlock([(PauliString.from_label("XY"), -0.0)],
+                                     parameter=1.0)])
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_name_is_metadata_not_semantics(self):
+        a = parse_program(FIXED_TEXT, name="alpha")
+        b = parse_program(FIXED_TEXT, name="beta")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_block_encoding_matches_the_one_sweep_fast_path(self):
+        """``PauliProgram.canonical_form`` packs all blocks in one sweep;
+        it must stay byte-identical to composing the per-block
+        ``PauliBlock.canonical_bytes`` encodings."""
+        import struct
+
+        program = fixed_program()
+        encoded = sorted(block.canonical_bytes() for block in program)
+        composed = (
+            b"pauli-program-v1"
+            + struct.pack("<II", program.num_qubits, len(encoded))
+            + b"".join(encoded)
+        )
+        assert program.canonical_form() == composed
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_permutations_are_invariant(self, data):
+        n = data.draw(st.integers(2, 5))
+        blocks = []
+        for _ in range(data.draw(st.integers(1, 3))):
+            strings = []
+            for _ in range(data.draw(st.integers(1, 4))):
+                codes = [data.draw(st.integers(0, 3)) for _ in range(n)]
+                strings.append((
+                    PauliString(codes),
+                    data.draw(st.floats(-2, 2, allow_nan=False)),
+                ))
+            blocks.append(PauliBlock(
+                strings, parameter=data.draw(st.floats(-2, 2, allow_nan=False))
+            ))
+        program = PauliProgram(blocks)
+        block_order = data.draw(st.permutations(range(len(blocks))))
+        shuffled = PauliProgram([
+            PauliBlock(
+                [blocks[i].strings[j]
+                 for j in data.draw(st.permutations(range(len(blocks[i].strings))))],
+                parameter=blocks[i].parameter,
+            )
+            for i in block_order
+        ])
+        assert program_fingerprint(program) == program_fingerprint(shuffled)
+
+
+class TestFingerprintDiscrimination:
+    def test_distinct_programs(self):
+        base = program_fingerprint(fixed_program())
+        assert program_fingerprint(parse_program("{(XYZI, 0.5), 0.3};")) != base
+        assert program_fingerprint(
+            parse_program(FIXED_TEXT.replace("0.5", "0.50001"))
+        ) != base
+        assert program_fingerprint(
+            parse_program(FIXED_TEXT.replace("XYZI", "XYZZ"))
+        ) != base
+
+    def test_duplicate_multiplicity_is_semantic(self):
+        once = parse_program("{(XX, 1.0), 0.5};")
+        twice = parse_program("{(XX, 1.0), (XX, 1.0), 0.5};")
+        assert program_fingerprint(once) != program_fingerprint(twice)
+
+    def test_options_discriminate(self):
+        program = fixed_program()
+        seen = set()
+        for options in [
+            canonical_options("ft", "gco"),
+            canonical_options("ft", "do"),
+            canonical_options("ft", "gco", run_peephole=False),
+            canonical_options("sc", "do", coupling=linear(4)),
+            canonical_options("sc", "do", coupling=linear(5)),
+            canonical_options("sc", "do", coupling=linear(4), restarts=3),
+            canonical_options("sc", "do", coupling=linear(4),
+                              edge_error={(0, 1): 0.01}),
+        ]:
+            seen.add(compile_fingerprint(program, options))
+        assert len(seen) == 7
+
+    def test_qubit_count_is_semantic(self):
+        a = parse_program("{(XX, 1.0), 0.5};")
+        b = parse_program("{(IXX, 1.0), 0.5};")
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+
+class TestCompileCache:
+    def test_hit_is_byte_identical_to_cold_compile(self, tmp_path):
+        program = fixed_program()
+        cache = CompileCache(tmp_path)
+        cold = compile_program(program, backend="ft", cache=cache)
+        assert not cold.from_cache and cold.fingerprint is not None
+
+        warm = compile_program(program, backend="ft", cache=cache)
+        assert warm.from_cache
+        assert dumps_artifact(warm) == dumps_artifact(cold)
+        assert cache.get(cold.fingerprint) == dumps_artifact(cold)
+        assert list(warm.circuit.gates) == list(cold.circuit.gates)
+        assert warm.metrics == cold.metrics
+
+    def test_disk_tier_survives_a_new_process_front(self, tmp_path):
+        program = fixed_program()
+        first = CompileCache(tmp_path)
+        cold = compile_program(program, backend="ft", cache=first)
+
+        second = CompileCache(tmp_path)   # fresh LRU, same store
+        warm = compile_program(program, backend="ft", cache=second)
+        assert warm.from_cache
+        assert second.stats.disk_hits == 1 and second.stats.misses == 0
+        assert dumps_artifact(warm) == dumps_artifact(cold)
+
+    def test_stats_and_lru_eviction(self, tmp_path):
+        cache = CompileCache(tmp_path, memory_entries=2)
+        cache.put("aa" + "0" * 62, "one")
+        cache.put("bb" + "0" * 62, "two")
+        cache.put("cc" + "0" * 62, "three")
+        assert cache.stats.evictions == 1
+        # Evicted from memory, still on disk.
+        assert cache.get("aa" + "0" * 62) == "one"
+        assert cache.stats.disk_hits == 1
+        assert cache.get("zz" + "0" * 62) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 3
+        stats = cache.stats.as_dict()
+        assert stats["hits"] == stats["memory_hits"] + stats["disk_hits"]
+
+    def test_memory_only_mode(self):
+        cache = CompileCache()
+        result = compile_program(fixed_program(), backend="ft", cache=cache)
+        assert compile_program(
+            fixed_program(), backend="ft", cache=cache
+        ).from_cache
+        assert result.fingerprint in cache
+
+    def test_merge_from_worker_store(self, tmp_path):
+        main = CompileCache(tmp_path / "main")
+        worker = CompileCache(tmp_path / "worker")
+        worker.put("ab" + "1" * 62, "payload")
+        main.put("cd" + "2" * 62, "existing")
+        assert main.merge_from(tmp_path / "worker") == 1
+        assert main.get("ab" + "1" * 62) == "payload"
+        assert main.stats.merged == 1
+        # Idempotent: nothing new to copy the second time.
+        assert main.merge_from(tmp_path / "worker") == 0
+
+    def test_sc_results_cache_with_layouts(self, tmp_path):
+        program = parse_program("{(ZIIZ, 1.0), 0.5};\n{(XXII, -0.5), 0.3};")
+        coupling = linear(4)
+        cache = CompileCache(tmp_path)
+        cold = compile_program(program, backend="sc", coupling=coupling, cache=cache)
+        warm = compile_program(program, backend="sc", coupling=coupling, cache=cache)
+        assert warm.from_cache
+        assert dumps_artifact(warm) == dumps_artifact(cold)
+        for p in warm.final_layout.physical_qubits():
+            assert warm.final_layout.logical(p) == cold.final_layout.logical(p)
+
+    def test_scheduler_default_resolution_shares_the_fingerprint(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        implicit = compile_program(fixed_program(), backend="ft", cache=cache)
+        explicit = compile_program(
+            fixed_program(), backend="ft", scheduler="gco", cache=cache
+        )
+        assert explicit.from_cache
+        assert implicit.fingerprint == explicit.fingerprint
+
+    def test_stale_or_corrupt_artifact_recompiles_instead_of_raising(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cold = compile_program(fixed_program(), backend="ft", cache=cache)
+        good = cache.get(cold.fingerprint)
+
+        # Future artifact version: must fall back to a recompile...
+        cache.put(cold.fingerprint, good.replace('"version":1', '"version":999'))
+        redone = compile_program(fixed_program(), backend="ft", cache=cache)
+        assert not redone.from_cache
+        # ...and heal the entry so the next lookup hits again.
+        assert cache.get(cold.fingerprint) == good
+        assert compile_program(fixed_program(), backend="ft", cache=cache).from_cache
+
+        # Truncated/corrupt JSON likewise.
+        cache.put(cold.fingerprint, good[: len(good) // 2])
+        assert not compile_program(fixed_program(), backend="ft", cache=cache).from_cache
+
+        # Valid JSON that is not an object likewise.
+        cache.put(cold.fingerprint, "null")
+        assert not compile_program(fixed_program(), backend="ft", cache=cache).from_cache
+
+
+class TestBatchService:
+    SPECS = [
+        {"text": "{(XXI, 1.0), (YYI, 0.5), 0.3};", "label": "a"},
+        {"text": "{(IZZ, -0.25), 0.7};", "label": "b"},
+        {"text": "{(XXI, 1.0), (YYI, 0.5), 0.3};", "label": "a-dup"},
+    ]
+
+    def test_serial_stats_count_each_lookup_once(self, tmp_path):
+        from repro.service import compile_batch
+
+        cache = CompileCache(tmp_path)
+        batch = compile_batch(self.SPECS, cache=cache, workers=1)
+        assert batch.unique_jobs == 2 and batch.dispatched_jobs == 2
+        assert cache.stats.misses == 2
+        assert cache.stats.puts == 2
+        rerun = compile_batch(self.SPECS, cache=cache, workers=1)
+        assert all(e.cached or e.deduped for e in rerun.entries)
+        assert cache.stats.misses == 2   # unchanged: no second-pass misses
+
+    def test_worker_stores_are_merged_and_cleaned(self, tmp_path):
+        from repro.service import compile_batch
+
+        cache = CompileCache(tmp_path)
+        batch = compile_batch(self.SPECS, cache=cache, workers=2)
+        assert batch.merged_artifacts == batch.dispatched_jobs == 2
+        assert not (cache.root / "workers").exists()
+        # The shared store holds exactly the unique artifacts.
+        assert len(list(cache.iter_fingerprints())) == 2
