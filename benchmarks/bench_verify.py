@@ -1,0 +1,221 @@
+"""Verifier benchmark: paper-scale certification latency + mutation catch.
+
+The acceptance gate for the Pauli-propagation verifier (:mod:`repro.verify`):
+
+* **certification** — the ft-backend Rand-30 (30 qubits, ~4.5k strings at
+  paper scale) and the sc-backend UCCSD-8 (routed onto the 65-qubit
+  Manhattan device, persistent-SWAP layout transitions) must verify at
+  every generic opt level 0-3 in under ``--budget`` seconds each (default
+  5 s), with no statevector fallback — these are exactly the compilations
+  the <= 16-qubit dense oracle cannot touch;
+* **detection** — an injected wrong-angle and wrong-Pauli mutation on the
+  level-3 circuits must be caught with a localized mismatch report.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_verify.py           # full
+    PYTHONPATH=src python benchmarks/bench_verify.py --smoke   # CI gate
+
+``--out``/``--baseline`` match ``bench_kernels.py``: JSON dump plus a
+regression gate — a verify time more than 4x its committed baseline fails
+(generous, because absolute times depend on the runner; the hard 5 s
+budget is the primary gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.circuit.gates import OP
+from repro.core import compile_program
+from repro.transpile import manhattan_65, transpile
+from repro.verify import verify_circuit, verify_result
+from repro.workloads import BENCHMARKS
+
+#: The paper-scale acceptance matrix: UCCSD-8 and Rand-30, each compiled
+#: through both backends (SC routed onto Manhattan-65 with persistent
+#: layout transitions), all beyond any dense-simulation oracle.
+CASES = (
+    ("Rand-30", "ft"),
+    ("Rand-30", "sc"),
+    ("UCCSD-8", "sc"),
+    ("UCCSD-8", "ft"),
+)
+OPT_LEVELS = (0, 1, 2, 3)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _first_rz_slot(circuit):
+    tape = circuit.tape
+    for slot in tape.iter_slots():
+        if tape.op[slot] == OP["rz"]:
+            return slot
+    raise AssertionError("no rz gate found")
+
+
+def bench_case(name: str, backend: str, repeats: int, budget: float) -> List[Dict]:
+    program = BENCHMARKS[name].build("paper")
+    kwargs = {"coupling": manhattan_65()} if backend == "sc" else {}
+    result = compile_program(program, backend=backend, **kwargs)
+    workload = f"{name}/{backend}"
+
+    rows: List[Dict] = []
+    level3_circuit = None
+    for level in OPT_LEVELS:
+        circuit = transpile(result.circuit, optimization_level=level)
+        if level == 3:
+            level3_circuit = circuit
+
+        def check():
+            report = verify_circuit(
+                circuit,
+                result.emitted_terms,
+                initial_layout=result.initial_layout,
+                final_layout=result.final_layout,
+            )
+            assert report.ok, report.describe()
+            return report
+
+        report = check()
+        seconds = _best_of(check, repeats)
+        rows.append({
+            "workload": workload, "kernel": f"verify_l{level}",
+            "backend": backend, "qubits": circuit.num_qubits,
+            "gates": len(circuit), "gadgets": report.gadget_count,
+            "seconds": seconds, "within_budget": seconds <= budget,
+        })
+
+    # Mutation catch: the verifier must reject a wrong angle and a wrong
+    # Pauli on the fully optimized circuit, with a localized report.  (The
+    # delta may cancel the gadget outright — e.g. UCCSD angles are exact
+    # multiples of 1/16 — so any mismatch kind counts as detection.)
+    mutated = level3_circuit.copy()
+    mutated.tape.param[_first_rz_slot(mutated)] += 0.1875
+    angle_report = verify_circuit(
+        mutated, result.emitted_terms,
+        initial_layout=result.initial_layout, final_layout=result.final_layout,
+    )
+    mutated = level3_circuit.copy()
+    tape = mutated.tape
+    for slot in tape.iter_slots():
+        if tape.op[slot] == OP["h"]:
+            tape.counts[OP["h"]] -= 1
+            tape.counts[OP["yh"]] += 1
+            tape.op[slot] = OP["yh"]
+            break
+    pauli_report = verify_circuit(
+        mutated, result.emitted_terms,
+        initial_layout=result.initial_layout, final_layout=result.final_layout,
+    )
+    rows.append({
+        "workload": workload, "kernel": "mutation_detect",
+        "wrong_angle_caught": not angle_report.ok
+        and angle_report.mismatch is not None,
+        "wrong_pauli_caught": not pauli_report.ok
+        and pauli_report.mismatch is not None,
+        "angle_report": angle_report.mismatch.describe()
+        if angle_report.mismatch else "",
+        "pauli_report": pauli_report.mismatch.describe()
+        if pauli_report.mismatch else "",
+    })
+    return rows
+
+
+def check_baseline(rows: List[Dict], path: str) -> List[str]:
+    """Fail any verify time that more than quadrupled vs the baseline."""
+    with open(path) as handle:
+        baseline = json.load(handle)["kernels"]
+    problems = []
+    for row in rows:
+        if "seconds" not in row:
+            continue
+        key = f"{row['workload']}/{row['kernel']}"
+        recorded = baseline.get(key)
+        if recorded is None:
+            problems.append(f"{key}: no committed baseline entry")
+        elif row["seconds"] > recorded["seconds"] * 4.0:
+            problems.append(
+                f"{key}: verify took {row['seconds']:.3f}s, over 4x the "
+                f"committed {recorded['seconds']:.3f}s"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: single repeat per level")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--budget", type=float, default=5.0,
+                        help="hard per-verification wall-clock budget (s)")
+    parser.add_argument("--out", default=None,
+                        help="write timing rows to this JSON file")
+    parser.add_argument("--baseline", default=None,
+                        help="fail if any verify time quadrupled vs this JSON")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.smoke else 5)
+    rows: List[Dict] = []
+    failed = False
+    for name, backend in CASES:
+        for row in bench_case(name, backend, repeats, args.budget):
+            rows.append(row)
+            label = row["workload"]
+            if row["kernel"] == "mutation_detect":
+                caught = row["wrong_angle_caught"] and row["wrong_pauli_caught"]
+                print(
+                    f"mutation     {label:<13} wrong-angle "
+                    f"{'caught' if row['wrong_angle_caught'] else 'MISSED'}, "
+                    f"wrong-pauli "
+                    f"{'caught' if row['wrong_pauli_caught'] else 'MISSED'}"
+                )
+                if not caught:
+                    print(f"FAIL: {label} mutation not detected", file=sys.stderr)
+                    failed = True
+            else:
+                print(
+                    f"verify       {label:<13} {row['kernel']}  "
+                    f"{row['qubits']:>2}q {row['gates']:>7} gates "
+                    f"{row['gadgets']:>5} gadgets  {row['seconds'] * 1e3:8.1f}ms"
+                )
+                if not row["within_budget"]:
+                    print(
+                        f"FAIL: {label}/{row['kernel']} took "
+                        f"{row['seconds']:.2f}s, over the {args.budget:.1f}s "
+                        f"budget", file=sys.stderr,
+                    )
+                    failed = True
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(
+                {"mode": "smoke" if args.smoke else "full",
+                 "repeats": repeats, "budget_s": args.budget, "rows": rows},
+                handle, indent=2,
+            )
+        print(f"\nwrote timings to {args.out}")
+
+    if args.baseline:
+        for problem in check_baseline(rows, args.baseline):
+            print(f"FAIL: {problem}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("\nverifier budget satisfied on every paper-scale case")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

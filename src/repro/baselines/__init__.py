@@ -2,14 +2,13 @@
 
 from .naive import naive_compile
 from .qaoa_compiler import QAOACompilerResult, qaoa_compile, zz_terms_of_program
-from .tableau import ConjugationTracker, TrackedPauli, simultaneous_diagonalize
+from .tableau import ConjugationTracker, simultaneous_diagonalize
 from .tket_like import TKResult, diagonal_rotation_gates, partition_commuting, tk_compile
 
 __all__ = [
     "ConjugationTracker",
     "QAOACompilerResult",
     "TKResult",
-    "TrackedPauli",
     "diagonal_rotation_gates",
     "naive_compile",
     "partition_commuting",

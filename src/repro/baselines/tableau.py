@@ -14,112 +14,105 @@ strings untouched; dependent strings come out diagonal for free.
 
 Signs are tracked exactly — a string conjugated to ``-Z...`` flips the sign
 of its rotation angle downstream.
+
+The conjugation state lives on the shared packed engine
+(:class:`repro.verify.clifford.SignedPauliTable`): every gate updates all
+tracked rows with a handful of word-wide column ops instead of the scalar
+per-row per-qubit loop this module used to carry.  The scalar update
+tables survive as the reference implementation in ``tests/test_verify.py``
+(the scalar-vs-packed migration gate).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-from ..circuit import Gate, QuantumCircuit
+from ..circuit import QuantumCircuit
+from ..circuit.gates import OP
 from ..pauli import PauliString
-from ..pauli import operators as ops
+from ..verify.clifford import SignedPauli, SignedPauliTable
 
-__all__ = ["TrackedPauli", "ConjugationTracker", "simultaneous_diagonalize"]
+__all__ = ["ConjugationTracker", "simultaneous_diagonalize"]
 
-
-class TrackedPauli:
-    """A Pauli string with a +/-1 sign, mutated in place by conjugation."""
-
-    __slots__ = ("codes", "sign")
-
-    def __init__(self, string: PauliString, sign: int = 1):
-        self.codes = bytearray(string.codes)
-        self.sign = sign
-
-    def to_string(self) -> PauliString:
-        return PauliString(bytes(self.codes))
-
-    def x_bit(self, q: int) -> int:
-        return self.codes[q] & 1
-
-    def z_bit(self, q: int) -> int:
-        return (self.codes[q] >> 1) & 1
-
-    def set_bits(self, q: int, x: int, z: int) -> None:
-        self.codes[q] = (x & 1) | ((z & 1) << 1)
-
-    def is_diagonal(self) -> bool:
-        return all((c & 1) == 0 for c in self.codes)
-
-    @property
-    def num_qubits(self) -> int:
-        return len(self.codes)
-
-
-# Conjugation tables U sigma U^dagger = sign * sigma' for 1-qubit Cliffords.
-# Keyed by Pauli code (I=0, X=1, Z=2, Y=3) -> (sign, new_code).
-_H_TABLE = {0: (1, 0), 1: (1, 2), 2: (1, 1), 3: (-1, 3)}
-_S_TABLE = {0: (1, 0), 1: (1, 3), 2: (1, 2), 3: (-1, 1)}   # S X S† = Y, S Y S† = -X
-_SDG_TABLE = {0: (1, 0), 1: (-1, 3), 2: (1, 2), 3: (1, 1)}
-_X_TABLE = {0: (1, 0), 1: (1, 1), 2: (-1, 2), 3: (-1, 3)}
+_OP_H = OP["h"]
+_OP_S = OP["s"]
+_OP_SDG = OP["sdg"]
+_OP_X = OP["x"]
+_OP_CX = OP["cx"]
+_OP_SWAP = OP["swap"]
 
 
 class ConjugationTracker:
-    """Applies Clifford gates to a set of tracked Paulis in the Heisenberg
+    """Applies Clifford gates to a batch of tracked Paulis in the Heisenberg
     picture while recording the gate sequence.
 
     After processing, ``circuit`` holds gates ``g_1 ... g_m`` (in emission
     order) whose composite unitary ``U = g_m ... g_1`` satisfies
-    ``U P U^dagger = tracked value`` for every input Pauli.
+    ``U P U^dagger = tracked value`` for every input Pauli.  The batch is
+    one packed :class:`~repro.verify.clifford.SignedPauliTable`; every gate
+    conjugates all rows at once.
     """
 
-    def __init__(self, paulis: Sequence[TrackedPauli], num_qubits: int):
-        self.paulis = list(paulis)
+    def __init__(self, strings: Iterable[PauliString], num_qubits: int):
+        self.table = SignedPauliTable.from_strings(strings)
+        if self.table.num_qubits != num_qubits:
+            raise ValueError(
+                f"strings act on {self.table.num_qubits} qubits, "
+                f"tracker built for {num_qubits}"
+            )
         self.circuit = QuantumCircuit(num_qubits)
 
     # -- gate applications -------------------------------------------------
-    def _apply_1q(self, table, q: int) -> None:
-        for p in self.paulis:
-            sign, new = table[p.codes[q]]
-            p.codes[q] = new
-            p.sign *= sign
-
     def h(self, q: int) -> None:
-        self._apply_1q(_H_TABLE, q)
+        self.table.apply(_OP_H, q)
         self.circuit.h(q)
 
     def s(self, q: int) -> None:
-        self._apply_1q(_S_TABLE, q)
+        self.table.apply(_OP_S, q)
         self.circuit.s(q)
 
     def sdg(self, q: int) -> None:
-        self._apply_1q(_SDG_TABLE, q)
+        self.table.apply(_OP_SDG, q)
         self.circuit.sdg(q)
 
     def x(self, q: int) -> None:
-        self._apply_1q(_X_TABLE, q)
+        self.table.apply(_OP_X, q)
         self.circuit.x(q)
 
     def cx(self, control: int, target: int) -> None:
-        for p in self.paulis:
-            xc, zc = p.x_bit(control), p.z_bit(control)
-            xt, zt = p.x_bit(target), p.z_bit(target)
-            # CHP update: sign flips when x_c z_t (x_t ^ z_c ^ 1) = 1.
-            if xc & zt & (xt ^ zc ^ 1):
-                p.sign *= -1
-            p.set_bits(target, xt ^ xc, zt)
-            p.set_bits(control, xc, zc ^ zt)
+        self.table.apply(_OP_CX, control, target)
         self.circuit.cx(control, target)
 
     def swap(self, a: int, b: int) -> None:
-        for p in self.paulis:
-            p.codes[a], p.codes[b] = p.codes[b], p.codes[a]
+        self.table.apply(_OP_SWAP, a, b)
         self.circuit.swap(a, b)
+
+    # -- row queries -------------------------------------------------------
+    def __len__(self) -> int:
+        return self.table.num_rows
+
+    def x_bit(self, row: int, qubit: int) -> int:
+        return self.table.x_bit(row, qubit)
+
+    def z_bit(self, row: int, qubit: int) -> int:
+        return self.table.z_bit(row, qubit)
+
+    def sign(self, row: int) -> int:
+        return self.table.sign(row)
+
+    def is_diagonal(self, row: int) -> bool:
+        return self.table.is_diagonal(row)
+
+    def signed(self, row: int) -> SignedPauli:
+        return self.table.signed(row)
+
+    def to_signed_paulis(self) -> List[SignedPauli]:
+        return self.table.to_signed_paulis()
 
 
 def simultaneous_diagonalize(
     strings: Sequence[PauliString],
-) -> Tuple[QuantumCircuit, List[TrackedPauli]]:
+) -> Tuple[QuantumCircuit, List[SignedPauli]]:
     """Find a Clifford ``C`` diagonalizing a mutually-commuting string set.
 
     Returns ``(clifford_circuit, tracked)`` where ``tracked[k]`` is the
@@ -137,10 +130,10 @@ def simultaneous_diagonalize(
                     f"strings {strings[i].label} and {strings[j].label} do not commute"
                 )
 
-    tracker = ConjugationTracker([TrackedPauli(s) for s in strings], n)
+    tracker = ConjugationTracker(strings, n)
     next_pivot = 0
-    for p in tracker.paulis:
-        if p.is_diagonal():
+    for row in range(len(strings)):
+        if tracker.is_diagonal(row):
             continue  # dependent (or already diagonal) string: free
         pivot = next_pivot
         next_pivot += 1
@@ -150,13 +143,13 @@ def simultaneous_diagonalize(
         # 1. Choose a column with an X component.  Previously fixed strings
         #    are exactly Z_j for pivots j < pivot, and this string commutes
         #    with them, so its X support lives on non-pivot qubits.
-        x_cols = [q for q in range(n) if p.x_bit(q)]
+        x_cols = [q for q in range(n) if tracker.x_bit(row, q)]
         col = x_cols[0]
         # 2. Collapse all other X bits onto `col` with CNOTs out of `col`.
         for q in x_cols[1:]:
             tracker.cx(col, q)
         # 3. Clear a possible Y at the column, then rotate X -> Z.
-        if p.z_bit(col):
+        if tracker.z_bit(row, col):
             tracker.s(col)
         tracker.h(col)
         # 4. Move the column onto the pivot qubit.
@@ -164,17 +157,13 @@ def simultaneous_diagonalize(
             tracker.swap(col, pivot)
         # 5. Clear remaining Z bits (string is now Z-only) onto the pivot.
         for q in range(n):
-            if q != pivot and p.z_bit(q):
+            if q != pivot and tracker.z_bit(row, q):
                 tracker.cx(q, pivot)
         # 6. Fix the sign so the string is exactly +Z_pivot.
-        if p.sign < 0:
+        if tracker.sign(row) < 0:
             tracker.x(pivot)
-        assert p.to_string().label == _z_label(n, pivot) and p.sign == 1
+        assert tracker.signed(row) == SignedPauli(
+            PauliString.from_sparse(n, {pivot: "Z"}), 1
+        )
 
-    return tracker.circuit, tracker.paulis
-
-
-def _z_label(n: int, qubit: int) -> str:
-    chars = ["I"] * n
-    chars[n - 1 - qubit] = "Z"
-    return "".join(chars)
+    return tracker.circuit, tracker.to_signed_paulis()

@@ -30,7 +30,8 @@ from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
 from ..pauli import PauliString
 from ..pauli.symplectic import PauliTable
-from .tableau import TrackedPauli, simultaneous_diagonalize
+from ..verify.clifford import SignedPauli
+from .tableau import simultaneous_diagonalize
 
 __all__ = ["partition_commuting", "diagonal_rotation_gates", "tk_compile", "TKResult"]
 
@@ -73,7 +74,7 @@ def partition_commuting(
 
 def diagonal_rotation_gates(
     circuit: QuantumCircuit,
-    tracked: TrackedPauli,
+    tracked: SignedPauli,
     coefficient: float,
 ) -> None:
     """Append the rotation for one diagonalized (Z-only, signed) string.

@@ -97,18 +97,26 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
 
 
 def equivalent_up_to_global_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
-    """True when two matrices (or vectors) are equal up to a global phase."""
+    """True when two matrices (or vectors) are equal up to a global phase.
+
+    A (near-)zero input has no well-defined phase, so it is never
+    equivalent to anything — not even another zero array.  Meaningful
+    inputs (statevectors, unitaries) have norm >= 1; an all-zero array
+    here means an upstream bug, and an equivalence oracle must fail loudly
+    rather than vacuously certify it.
+    """
     a = np.asarray(a)
     b = np.asarray(b)
     if a.shape != b.shape:
         return False
     flat_a = a.reshape(-1)
     flat_b = b.reshape(-1)
-    idx = int(np.argmax(np.abs(flat_a)))
-    if abs(flat_a[idx]) < atol:
-        return bool(np.allclose(a, b, atol=atol))
-    if abs(flat_b[idx]) < atol:
+    if np.linalg.norm(flat_a) <= atol or np.linalg.norm(flat_b) <= atol:
         return False
+    # norm > atol guarantees the largest |a| element is non-zero, so the
+    # phase estimate below is always well-defined; a genuinely different b
+    # fails either the |phase| == 1 check or the final allclose.
+    idx = int(np.argmax(np.abs(flat_a)))
     phase = flat_b[idx] / flat_a[idx]
     if not np.isclose(abs(phase), 1.0, atol=atol):
         return False

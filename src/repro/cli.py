@@ -8,6 +8,10 @@ Commands
 * ``compile-batch SPECS.jsonl`` — serve a JSONL stream of program specs
   through the content-addressed cache and worker pool, writing one JSONL
   artifact row per input plus a cache-stats summary;
+* ``verify SPECS.jsonl --cache DIR`` — re-fingerprint each spec's program
+  and run the Pauli-propagation verifier over the artifact the cache
+  stores for it (catches stale, corrupted, or miscompiled artifacts at
+  any qubit count, no statevector involved);
 * ``table1|table2|table3|table4|fig11`` — regenerate one experiment and
   print the report table.
 """
@@ -54,6 +58,7 @@ def _cmd_compile(args) -> int:
     coupling = manhattan_65() if spec.backend == "sc" else None
     kwargs = {"coupling": coupling} if coupling is not None else {}
 
+    verification = None
     if args.opt_level is None and args.frontend == "ph":
         # Legacy path: Paulihedral frontend with its own peephole cleanup.
         result = compile_program(
@@ -61,6 +66,10 @@ def _cmd_compile(args) -> int:
         )
         header = f"{args.name} ({spec.backend} backend, scheduler={result.scheduler})"
         metrics = result.metrics
+        if args.verify:
+            from .verify import verify_result
+
+            verification = verify_result(program, result)
     else:
         # Table 2 path: frontend without its own cleanup, then the generic
         # level-N pipeline (optimize / coupling-aware routing / re-optimize).
@@ -72,6 +81,13 @@ def _cmd_compile(args) -> int:
                     "ignored for --frontend tk",
                     file=sys.stderr,
                 )
+            if args.verify:
+                print(
+                    "--verify needs the ph frontend's emitted term order; "
+                    "not supported with --frontend tk",
+                    file=sys.stderr,
+                )
+                return 2
             circuit = tk_compile(program).circuit
             tag = "tk"
             needs_routing = spec.backend == "sc"
@@ -95,30 +111,51 @@ def _cmd_compile(args) -> int:
             f"generic level {level})"
         )
         metrics = circuit_metrics(circuit)
+        if args.verify:
+            from .verify import verify_circuit
+
+            verification = verify_circuit(
+                circuit,
+                result.emitted_terms,
+                initial_layout=result.initial_layout,
+                final_layout=result.final_layout,
+            )
 
     print(header)
     print(format_table(
         ["CNOT", "Single", "Total", "Depth"],
         [[metrics["cnot"], metrics["single"], metrics["total"], metrics["depth"]]],
     ))
+    if verification is not None:
+        print(verification.describe())
+        if not verification.ok:
+            return 1
     return 0
 
 
-def _cmd_compile_batch(args) -> int:
-    from .service import CompileCache, compile_batch, result_from_dict
-
+def _read_specs(path: str):
+    """Load a JSONL job-spec file; returns ``None`` after printing on error."""
     try:
-        with open(args.specs) as handle:
+        with open(path) as handle:
             specs = [
                 json.loads(line)
                 for line in handle
                 if line.strip() and not line.lstrip().startswith("#")
             ]
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot read spec file {args.specs!r}: {exc}", file=sys.stderr)
-        return 2
+        print(f"cannot read spec file {path!r}: {exc}", file=sys.stderr)
+        return None
     if not specs:
-        print(f"no job specs found in {args.specs!r}", file=sys.stderr)
+        print(f"no job specs found in {path!r}", file=sys.stderr)
+        return None
+    return specs
+
+
+def _cmd_compile_batch(args) -> int:
+    from .service import CompileCache, compile_batch, result_from_dict
+
+    specs = _read_specs(args.specs)
+    if specs is None:
         return 2
 
     cache = CompileCache(args.cache) if args.cache else CompileCache()
@@ -173,6 +210,65 @@ def _cmd_compile_batch(args) -> int:
         )
     if args.out:
         print(f"wrote {len(batch.entries)} artifact rows to {args.out}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    """Verify stored service artifacts against their fingerprinted programs."""
+    from .service import CompileCache, loads_artifact, resolve_spec
+    from .verify import verify_result
+
+    specs = _read_specs(args.specs)
+    if specs is None:
+        return 2
+
+    cache = CompileCache(args.cache)
+    rows = []
+    verified = missing = failed = 0
+    for index, spec in enumerate(specs):
+        try:
+            job = resolve_spec(spec)
+        except ValueError as exc:
+            print(f"bad job spec on line {index}: {exc}", file=sys.stderr)
+            return 2
+        fingerprint = job.fingerprint()
+        stored = cache.get(fingerprint)
+        if stored is None:
+            missing += 1
+            rows.append([index, job.label, fingerprint[:12], "missing", "-", "-"])
+            continue
+        try:
+            result = loads_artifact(stored)
+        except (ValueError, KeyError, TypeError) as exc:
+            failed += 1
+            rows.append([index, job.label, fingerprint[:12], "corrupt", "-", str(exc)])
+            continue
+        report = verify_result(job.program, result)
+        if report.ok:
+            verified += 1
+            status, note = "ok", f"{report.gadget_count} gadgets"
+        else:
+            failed += 1
+            status, note = "FAIL", report.mismatch.describe()
+        rows.append(
+            [index, job.label, fingerprint[:12], status,
+             f"{report.seconds * 1e3:.1f}ms", note]
+        )
+
+    print(format_table(["#", "Job", "Fingerprint", "Status", "Time", "Detail"], rows))
+    print(
+        f"verified={verified} failed={failed} missing={missing} "
+        f"of {len(specs)} artifact(s)"
+    )
+    if failed:
+        return 1
+    if missing and not args.allow_missing:
+        print(
+            "some artifacts are missing from the cache; compile them first "
+            "(compile-batch) or pass --allow-missing",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -259,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ph (Paulihedral, default) or the TK-style baseline; tk on an "
              "SC benchmark routes through the device coupling map",
     )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="run the Pauli-propagation verifier on the compiled circuit "
+             "(any qubit count; exits 1 on mismatch)",
+    )
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser(
@@ -274,6 +375,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write one JSONL artifact row per input job")
     p.set_defaults(func=_cmd_compile_batch)
+
+    p = sub.add_parser(
+        "verify",
+        help="verify cached compile artifacts against their fingerprinted "
+             "programs with the Pauli-propagation oracle",
+    )
+    p.add_argument("specs", help="JSONL file, one job spec per line "
+                                 "(same schema as compile-batch)")
+    p.add_argument("--cache", required=True, metavar="DIR",
+                   help="on-disk cache directory holding the artifacts")
+    p.add_argument("--allow-missing", action="store_true",
+                   help="exit 0 even when some specs have no stored artifact")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--scale", default="small", choices=["small", "paper"])

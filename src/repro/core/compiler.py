@@ -30,6 +30,7 @@ from .sc_backend import sc_compile
 
 if TYPE_CHECKING:  # deferred at runtime: repro.service imports this module
     from ..service.cache import CompileCache
+    from ..verify import VerificationReport
 
 __all__ = ["CompilationResult", "compile_program"]
 
@@ -48,6 +49,8 @@ class CompilationResult:
     fingerprint: Optional[str] = None
     #: True when this result was served from a cache rather than compiled.
     from_cache: bool = False
+    #: Pauli-propagation report; set when compiled with ``verify=True``.
+    verification: Optional["VerificationReport"] = None
 
     @property
     def metrics(self) -> Dict[str, int]:
@@ -69,6 +72,7 @@ def compile_program(
     run_peephole: bool = True,
     restarts: int = 1,
     cache: Optional["CompileCache"] = None,
+    verify: bool = False,
 ) -> CompilationResult:
     """Compile a Pauli IR program with Paulihedral.
 
@@ -96,6 +100,13 @@ def compile_program(
         and options are content-fingerprinted; on a hit the stored artifact
         is deserialized and returned (``result.from_cache`` is ``True``),
         on a miss the compilation runs and its artifact is stored.
+    verify:
+        Run the Pauli-propagation verifier (:mod:`repro.verify`) on the
+        result — including cache hits, so a corrupted artifact can never
+        be served silently.  The report lands on ``result.verification``;
+        a failed check raises :class:`~repro.verify.VerificationError`.
+        Verification is a check, not a compile option, so it does not
+        enter the cache fingerprint.
     """
     if backend == "ft":
         resolved_scheduler = scheduler or "gco"
@@ -134,7 +145,7 @@ def compile_program(
             if result is not None:
                 result.fingerprint = fingerprint
                 result.from_cache = True
-                return result
+                return _maybe_verify(program, result, verify)
 
     if backend == "ft":
         ft_result = ft_compile(
@@ -166,4 +177,16 @@ def compile_program(
     result.fingerprint = fingerprint
     if cache is not None:
         cache.put(fingerprint, dumps_artifact(result))
+    return _maybe_verify(program, result, verify)
+
+
+def _maybe_verify(
+    program: PauliProgram, result: CompilationResult, verify: bool
+) -> CompilationResult:
+    if verify:
+        # Deferred import: repro.verify sits above the core compiler.
+        from ..verify import verify_result
+
+        result.verification = verify_result(program, result)
+        result.verification.raise_if_failed()
     return result

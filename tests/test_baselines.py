@@ -13,7 +13,7 @@ from repro.baselines import (
     tk_compile,
     zz_terms_of_program,
 )
-from repro.baselines.tableau import ConjugationTracker, TrackedPauli
+from repro.baselines.tableau import ConjugationTracker
 from repro.circuit import QuantumCircuit, circuit_unitary, equivalent_up_to_global_phase
 from repro.ir import PauliBlock, PauliProgram
 from repro.pauli import PauliString
@@ -34,37 +34,48 @@ class TestConjugationTracker:
     @pytest.mark.parametrize("gate", ["h", "s", "sdg", "x"])
     @pytest.mark.parametrize("label", ["X", "Y", "Z"])
     def test_single_qubit_conjugation_matches_matrices(self, gate, label):
-        p = TrackedPauli(PauliString.from_label(label))
-        tracker = ConjugationTracker([p], 1)
+        tracker = ConjugationTracker([PauliString.from_label(label)], 1)
         getattr(tracker, gate)(0)
         u = circuit_unitary(tracker.circuit)
         original = PauliString.from_label(label).to_matrix()
-        conjugated = p.sign * p.to_string().to_matrix()
+        tracked = tracker.signed(0)
+        conjugated = tracked.sign * tracked.to_string().to_matrix()
         assert np.allclose(u @ original @ u.conj().T, conjugated)
 
     @pytest.mark.parametrize("label", ["XX", "XZ", "ZX", "YY", "XI", "IZ", "YZ", "ZY"])
     def test_cx_conjugation_matches_matrices(self, label):
-        p = TrackedPauli(PauliString.from_label(label))
-        tracker = ConjugationTracker([p], 2)
+        tracker = ConjugationTracker([PauliString.from_label(label)], 2)
         tracker.cx(0, 1)
         u = circuit_unitary(tracker.circuit)
         original = PauliString.from_label(label).to_matrix()
-        conjugated = p.sign * p.to_string().to_matrix()
+        tracked = tracker.signed(0)
+        conjugated = tracked.sign * tracked.to_string().to_matrix()
         assert np.allclose(u @ original @ u.conj().T, conjugated)
 
     def test_swap_conjugation(self):
-        p = TrackedPauli(PauliString.from_label("XZ"))
-        tracker = ConjugationTracker([p], 2)
+        tracker = ConjugationTracker([PauliString.from_label("XZ")], 2)
         tracker.swap(0, 1)
-        assert p.to_string().label == "ZX"
+        assert tracker.signed(0).to_string().label == "ZX"
+
+    def test_whole_batch_is_conjugated_at_once(self):
+        labels = ["XI", "IZ", "YY", "ZX"]
+        tracker = ConjugationTracker([PauliString.from_label(l) for l in labels], 2)
+        tracker.h(0)
+        tracker.cx(0, 1)
+        u = circuit_unitary(tracker.circuit)
+        for row, label in enumerate(labels):
+            tracked = tracker.signed(row)
+            assert np.allclose(
+                u @ PauliString.from_label(label).to_matrix() @ u.conj().T,
+                tracked.sign * tracked.to_string().to_matrix(),
+            )
 
     @given(st.text(alphabet="IXYZ", min_size=2, max_size=3).filter(lambda s: set(s) != {"I"}),
            st.lists(st.sampled_from(["h0", "s0", "x1", "cx01", "cx10", "swap"]), min_size=1, max_size=8))
     @settings(max_examples=40, deadline=None)
     def test_random_conjugation_sequences(self, label, moves):
-        p = TrackedPauli(PauliString.from_label(label))
         n = len(label)
-        tracker = ConjugationTracker([p], n)
+        tracker = ConjugationTracker([PauliString.from_label(label)], n)
         for move in moves:
             if move == "h0":
                 tracker.h(0)
@@ -80,7 +91,8 @@ class TestConjugationTracker:
                 tracker.swap(0, 1)
         u = circuit_unitary(tracker.circuit)
         original = PauliString.from_label(label).to_matrix()
-        conjugated = p.sign * p.to_string().to_matrix()
+        tracked = tracker.signed(0)
+        conjugated = tracked.sign * tracked.to_string().to_matrix()
         assert np.allclose(u @ original @ u.conj().T, conjugated)
 
 

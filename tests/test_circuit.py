@@ -186,6 +186,53 @@ class TestGlobalPhaseComparison:
     def test_shape_mismatch(self):
         assert not equivalent_up_to_global_phase(np.eye(2), np.eye(4))
 
+    # -- zero / near-zero norm guard (a degenerate input has no phase and
+    # -- must never vacuously certify equivalence) -----------------------
+    def test_zero_never_matches_anything(self):
+        zero = np.zeros(4, dtype=complex)
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        assert not equivalent_up_to_global_phase(zero, state)
+        assert not equivalent_up_to_global_phase(state, zero)
+
+    def test_zero_does_not_match_zero(self):
+        zero = np.zeros((2, 2), dtype=complex)
+        assert not equivalent_up_to_global_phase(zero, zero)
+
+    def test_near_zero_below_atol_rejected(self):
+        noise = np.full(4, 1e-10 + 0j)
+        assert not equivalent_up_to_global_phase(noise, noise, atol=1e-8)
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        assert not equivalent_up_to_global_phase(noise, state, atol=1e-8)
+
+    def test_small_elements_above_norm_guard_still_match(self):
+        # Every element below atol, but the norm above it: identical arrays
+        # (and phase-rotated copies) must still compare as equivalent.
+        a = np.full(64, 5e-9 + 0j)
+        assert equivalent_up_to_global_phase(a, a, atol=1e-8)
+        assert equivalent_up_to_global_phase(a, 1j * a, atol=1e-8)
+        b = np.zeros(64, dtype=complex)
+        b[0] = 1.0
+        assert not equivalent_up_to_global_phase(a, b, atol=1e-8)
+
+    def test_norm_just_above_atol_boundary_still_compares(self):
+        # Tiny but non-degenerate vectors keep the exact phase semantics.
+        a = np.zeros(4, dtype=complex)
+        a[2] = 3e-8
+        assert equivalent_up_to_global_phase(a, 1j * a, atol=1e-8)
+        assert not equivalent_up_to_global_phase(a, -1e-7 * a, atol=1e-8)
+
+    def test_atol_boundary_perturbation(self):
+        a = np.zeros(4, dtype=complex)
+        a[0] = 1.0
+        b = a.copy()
+        b[1] = 5e-9  # inside atol: still equivalent
+        assert equivalent_up_to_global_phase(a, b, atol=1e-8)
+        c = a.copy()
+        c[1] = 1e-6  # far outside atol: not equivalent
+        assert not equivalent_up_to_global_phase(a, c, atol=1e-8)
+
 
 @given(st.lists(st.sampled_from(["h", "x", "s", "yh"]), min_size=1, max_size=8),
        st.integers(0, 2))

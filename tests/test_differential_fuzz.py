@@ -1,16 +1,22 @@
 """Differential fuzzing of the whole compile pipeline.
 
 Hypothesis generates random Pauli programs (mixed weights, angles, and
-block shapes on up to 8 qubits) and compiles them through both backends at
-every generic ``--opt-level``.  Two independent oracles check every case:
+block shapes) and compiles them through both backends at every generic
+``--opt-level``.  Three independent oracles check the cases:
 
 * the **naive baseline** — the paper's one-string-at-a-time chain synthesis
   (:func:`repro.core.synthesis.pauli_rotation_gates`), applied to the
   compiler's emitted term order, must be statevector-equivalent to the
-  compiled circuit at every opt level;
+  compiled circuit at every opt level (programs up to 10 qubits, where the
+  dense simulation stays cheap);
 * the **PR-2 reference engine** — the seed peephole/router implementations
   kept in :mod:`repro.transpile.reference` must agree with the worklist
-  engine on the same frontend emissions.
+  engine on the same frontend emissions;
+* the **Pauli-propagation verifier** (:mod:`repro.verify`) — cross-checked
+  against the statevector oracle on every small case, and the *only*
+  oracle for the paper-scale band: hypothesis-generated 17-30-qubit
+  programs (backends x opt levels, > 100 cases per run) that no dense
+  simulator could touch.
 
 On top of the per-case unitary check, the emitted term multiset must equal
 the program's IR multiset exactly (the scheduling licence), and the SC
@@ -19,7 +25,8 @@ matrices.
 
 Falsifying examples found during development are committed to
 ``tests/corpora/differential_regressions.jsonl`` and replayed verbatim by
-``test_regression_corpus`` so they can never come back.
+``test_regression_corpus`` — through the statevector oracles *and* the new
+verifier — so they can never come back.
 """
 
 import json
@@ -41,12 +48,15 @@ from repro.pauli import PauliString
 from repro.service import program_from_dict, program_to_dict
 from repro.transpile import linear, optimize, route, transpile
 from repro.transpile.reference import seed_optimize, seed_route
+from repro.verify import verify_circuit, verify_result
 
 CORPUS = Path(__file__).parent / "corpora" / "differential_regressions.jsonl"
 OPT_LEVELS = (0, 1, 2, 3)
 
-#: 2^8 = 256-dim statevectors keep every oracle evaluation cheap.
-MAX_QUBITS = 8
+#: Statevector-oracle ceiling: 2^10 = 1024-dim states stay cheap.
+MAX_QUBITS = 10
+#: Paper-scale band checked by Pauli propagation only.
+MIN_BIG_QUBITS, MAX_BIG_QUBITS = 17, 30
 
 
 # ----------------------------------------------------------------------
@@ -71,8 +81,9 @@ _angles = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False).filter(
 
 
 @st.composite
-def pauli_programs(draw, max_qubits=MAX_QUBITS, max_blocks=3, max_strings=3):
-    n = draw(st.integers(2, max_qubits))
+def pauli_programs(draw, max_qubits=MAX_QUBITS, max_blocks=3, max_strings=3,
+                   min_qubits=2):
+    n = draw(st.integers(min_qubits, max_qubits))
     blocks = []
     for _ in range(draw(st.integers(1, max_blocks))):
         strings = _strings(draw, n, draw(st.integers(1, max_strings)))
@@ -118,6 +129,10 @@ def check_ft_case(program):
         {k: v for k, v in program.multiset_of_terms().items()}
     ), "scheduling changed the emitted term multiset"
 
+    # Third oracle: Pauli propagation must agree with the statevector
+    # verdict on every small case (the two share no code path).
+    verify_result(program, result).raise_if_failed()
+
     n = program.num_qubits
     state = _random_state(n)
     reference = simulate(_naive_chain_circuit(result.emitted_terms, n), state)
@@ -126,6 +141,7 @@ def check_ft_case(program):
         assert _states_close(simulate(compiled, state), reference), (
             f"ft/opt-level {level} diverged from the naive baseline"
         )
+        verify_circuit(compiled, result.emitted_terms).raise_if_failed()
 
 
 def check_sc_case(program):
@@ -143,6 +159,8 @@ def check_sc_case(program):
         {k: v for k, v in program.multiset_of_terms().items()}
     ), "SC scheduling changed the emitted term multiset"
 
+    verify_result(program, result).raise_if_failed()
+
     state = _random_state(n)
     s_init = layout_permutation(result.initial_layout, n)
     s_final = layout_permutation(result.final_layout, n)
@@ -155,6 +173,12 @@ def check_sc_case(program):
         assert _states_close(simulate(compiled, state), reference), (
             f"sc/opt-level {level} diverged from the naive baseline"
         )
+        verify_circuit(
+            compiled,
+            result.emitted_terms,
+            initial_layout=result.initial_layout,
+            final_layout=result.final_layout,
+        ).raise_if_failed()
 
 
 def check_reference_engine_case(program):
@@ -182,8 +206,38 @@ def check_reference_engine_case(program):
 
 
 # ----------------------------------------------------------------------
-# Fuzz entry points (>= 200 program/backend/opt-level cases in total:
-# 40 x 4 ft + 25 x 4 sc = 260, plus 30 reference-engine cases)
+# Paper-scale band: Pauli propagation is the only oracle
+# ----------------------------------------------------------------------
+
+def check_big_ft_case(program):
+    """FT at 17-30 qubits: verifier-only, every opt level (5 cases)."""
+    result = compile_program(program, backend="ft")
+    verify_result(program, result).raise_if_failed()
+    for level in OPT_LEVELS:
+        compiled = transpile(result.circuit, optimization_level=level)
+        verify_circuit(compiled, result.emitted_terms).raise_if_failed()
+
+
+def check_big_sc_case(program):
+    """SC (linear coupling, persistent swaps) at 17-30 qubits (5 cases)."""
+    result = compile_program(
+        program, backend="sc", coupling=linear(program.num_qubits)
+    )
+    verify_result(program, result).raise_if_failed()
+    for level in OPT_LEVELS:
+        compiled = transpile(result.circuit, optimization_level=level)
+        verify_circuit(
+            compiled,
+            result.emitted_terms,
+            initial_layout=result.initial_layout,
+            final_layout=result.final_layout,
+        ).raise_if_failed()
+
+
+# ----------------------------------------------------------------------
+# Fuzz entry points (>= 200 statevector program/backend/opt-level cases:
+# 40 x 4 ft + 25 x 4 sc = 260, plus 30 reference-engine cases, plus
+# >= 125 paper-scale cases above 16 qubits: (15 ft + 10 sc) x 5 checks)
 # ----------------------------------------------------------------------
 
 @given(pauli_programs())
@@ -202,6 +256,18 @@ def test_sc_differential_fuzz(program):
 @settings(max_examples=30, deadline=None)
 def test_reference_engine_differential_fuzz(program):
     check_reference_engine_case(program)
+
+
+@given(pauli_programs(min_qubits=MIN_BIG_QUBITS, max_qubits=MAX_BIG_QUBITS))
+@settings(max_examples=15, deadline=None)
+def test_big_ft_pauli_propagation_fuzz(program):
+    check_big_ft_case(program)
+
+
+@given(pauli_programs(min_qubits=MIN_BIG_QUBITS, max_qubits=MAX_BIG_QUBITS))
+@settings(max_examples=10, deadline=None)
+def test_big_sc_pauli_propagation_fuzz(program):
+    check_big_sc_case(program)
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +298,22 @@ _CHECKS = {
 def test_regression_corpus(case):
     program = program_from_dict(case["program"])
     _CHECKS[case["backend"]](program)
+
+
+@pytest.mark.parametrize(
+    "case", _corpus_cases(),
+    ids=lambda case: case.get("id", "case"),
+)
+def test_regression_corpus_through_pauli_propagation(case):
+    """Replay every committed falsifier through the new oracle as well."""
+    program = program_from_dict(case["program"])
+    result = compile_program(program, backend="ft")
+    verify_result(program, result).raise_if_failed()
+    if case["backend"] == "sc":
+        sc = compile_program(
+            program, backend="sc", coupling=linear(program.num_qubits)
+        )
+        verify_result(program, sc).raise_if_failed()
 
 
 @given(pauli_programs())
