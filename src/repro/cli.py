@@ -12,6 +12,12 @@ Commands
   and run the Pauli-propagation verifier over the artifact the cache
   stores for it (catches stale, corrupted, or miscompiled artifacts at
   any qubit count, no statevector involved);
+* ``serve`` — run the async compile gateway: a long-lived daemon serving
+  newline-delimited JSON compile requests over a local socket, with
+  admission control and the content-addressed cache shared across all
+  clients (see :mod:`repro.service.gateway`);
+* ``client SPECS.jsonl`` — stream a JSONL spec file through a running
+  gateway (pipelined), or query its ``stats`` verb;
 * ``table1|table2|table3|table4|fig11`` — regenerate one experiment and
   print the report table.
 """
@@ -272,6 +278,125 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the compile gateway daemon until SIGINT/SIGTERM (exit 0)."""
+    import asyncio
+    import signal
+
+    from .service import CompileGateway, GatewayConfig, prepare_unix_path
+
+    config = GatewayConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_root=args.cache,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        per_client_limit=args.per_client_limit,
+        allow_shutdown=args.allow_shutdown,
+    )
+
+    async def run() -> int:
+        gateway = CompileGateway(config)
+        try:
+            if config.socket_path:
+                prepare_unix_path(config.socket_path)
+            await gateway.start()
+        except OSError as exc:
+            print(f"cannot bind gateway: {exc}", file=sys.stderr)
+            # start() may have allocated the worker pool and cancel dir
+            # before the bind failed; release them so supervisor restart
+            # loops against a stuck port don't accumulate leaks.
+            await gateway.close(drain=False)
+            return 2
+        print(
+            f"gateway listening on {gateway.address} "
+            f"(cache={args.cache or 'memory-only'}, "
+            f"workers={config.workers or 'in-process'})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum, gateway.shutdown_requested.set)
+        await gateway.shutdown_requested.wait()
+        print("gateway draining...", flush=True)
+        await gateway.close()
+        print("gateway stopped", flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_client(args) -> int:
+    """Stream specs through a running gateway; exit 1 on any failed job."""
+    import asyncio
+
+    from .service import GatewayClient
+
+    if not args.stats and not args.specs:
+        print("client needs a SPECS.jsonl file (or --stats)", file=sys.stderr)
+        return 2
+    specs = None
+    if args.specs:
+        specs = _read_specs(args.specs)
+        if specs is None:
+            return 2
+
+    async def run() -> int:
+        try:
+            client = await GatewayClient.connect(
+                socket_path=args.socket, host=args.host, port=args.port,
+                timeout=args.timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            print(f"cannot connect to gateway: {exc}", file=sys.stderr)
+            return 2
+        try:
+            if args.stats:
+                print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+                return 0
+            responses, latencies = await client.run_specs(
+                specs, want=args.want, window=args.window,
+                timeout=args.timeout * len(specs) + 60,
+            )
+        except (ConnectionError, TimeoutError, asyncio.TimeoutError) as exc:
+            print(f"gateway connection failed mid-run: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            await client.close()
+
+        failed = 0
+        rows = []
+        for index, (spec, response, latency) in enumerate(
+                zip(specs, responses, latencies)):
+            label = spec.get("label", spec.get("benchmark", f"job{index}"))
+            if response is None or not response.get("ok"):
+                failed += 1
+                code = "no-response" if response is None \
+                    else response.get("code", "error")
+                rows.append([index, label, code, f"{latency * 1e3:.1f}ms", "-"])
+            else:
+                rows.append([
+                    index, label,
+                    "hit" if response.get("cached") else "compiled",
+                    f"{latency * 1e3:.1f}ms",
+                    response.get("fingerprint", "")[:12],
+                ])
+        print(format_table(["#", "Job", "Source", "Latency", "Fingerprint"], rows))
+        ok = len(specs) - failed
+        hits = sum(1 for r in responses if r and r.get("ok") and r.get("cached"))
+        print(f"jobs={len(specs)} ok={ok} failed={failed} cache_hits={hits}")
+        if args.out:
+            with open(args.out, "w") as handle:
+                for response in responses:
+                    handle.write(json.dumps(response, sort_keys=True) + "\n")
+            print(f"wrote {len(responses)} response rows to {args.out}")
+        return 1 if failed else 0
+
+    return asyncio.run(run())
+
+
 def _cmd_table1(args) -> int:
     rows = table1_inventory(scale=args.scale)
     print(format_table(
@@ -388,6 +513,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-missing", action="store_true",
                    help="exit 0 even when some specs have no stored artifact")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async compile gateway daemon (newline-delimited JSON "
+             "over a local socket; see repro.service.protocol)",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="bind a unix-domain socket (wins over --host/--port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="TCP port (default 7421; 0 = ephemeral)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="on-disk cache directory shared by all clients "
+                        "(default: in-memory only)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="compile worker processes (0 = one in-process thread)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max undispatched cold compiles before rejecting")
+    p.add_argument("--per-client-limit", type=int, default=16,
+                   help="max unanswered cold requests per client")
+    p.add_argument("--allow-shutdown", action="store_true",
+                   help="honor the protocol 'shutdown' verb")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="stream a JSONL spec file through a running gateway "
+             "(same spec schema as compile-batch)",
+    )
+    p.add_argument("specs", nargs="?", default=None,
+                   help="JSONL file, one job spec per line")
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--want", default="metrics",
+                   choices=["metrics", "artifact", "ack"])
+    p.add_argument("--window", type=int, default=8,
+                   help="max requests in flight (pipelining width); for "
+                        "cold corpora keep at or below the server's "
+                        "--per-client-limit or the excess is rejected "
+                        "as overloaded")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request timeout budget in seconds")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write one JSONL response row per input job")
+    p.add_argument("--stats", action="store_true",
+                   help="print the gateway's stats verb instead of compiling")
+    p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--scale", default="small", choices=["small", "paper"])

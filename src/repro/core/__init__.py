@@ -1,5 +1,6 @@
 """Paulihedral core: synthesis, scheduling, and backend optimization passes."""
 
+from .cancellation import CompilationCancelled, check_cancel
 from .compiler import CompilationResult, compile_program
 from .controlled import (
     controlled_pauli_evolution_circuit,
@@ -40,6 +41,7 @@ from .synthesis import (
 )
 
 __all__ = [
+    "CompilationCancelled",
     "CompilationResult",
     "EmbeddedTree",
     "FTResult",
@@ -51,6 +53,7 @@ __all__ = [
     "SynthesisPlan",
     "aligned_chain_plan",
     "chain_plan",
+    "check_cancel",
     "compile_program",
     "controlled_pauli_evolution_circuit",
     "controlled_pauli_rotation_gates",

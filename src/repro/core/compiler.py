@@ -19,12 +19,13 @@ Backends:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
 from ..pauli import PauliString
 from ..transpile import CouplingMap, Layout
+from .cancellation import CompilationCancelled, check_cancel
 from .ft_backend import ft_compile
 from .sc_backend import sc_compile
 
@@ -32,7 +33,7 @@ if TYPE_CHECKING:  # deferred at runtime: repro.service imports this module
     from ..service.cache import CompileCache
     from ..verify import VerificationReport
 
-__all__ = ["CompilationResult", "compile_program"]
+__all__ = ["CompilationCancelled", "CompilationResult", "compile_program"]
 
 
 @dataclass
@@ -73,6 +74,7 @@ def compile_program(
     restarts: int = 1,
     cache: Optional["CompileCache"] = None,
     verify: bool = False,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> CompilationResult:
     """Compile a Pauli IR program with Paulihedral.
 
@@ -107,6 +109,13 @@ def compile_program(
         a failed check raises :class:`~repro.verify.VerificationError`.
         Verification is a check, not a compile option, so it does not
         enter the cache fingerprint.
+    cancel:
+        Optional zero-argument callable polled at pass boundaries (after
+        scheduling, between SC restarts, before peephole); returning
+        ``True`` raises :class:`CompilationCancelled`.  Cancellation is a
+        caller-liveness signal, not a compile option — it never enters
+        the fingerprint.  A cache hit is returned even when ``cancel``
+        already fires (serving it is cheaper than checking).
     """
     if backend == "ft":
         resolved_scheduler = scheduler or "gco"
@@ -147,9 +156,12 @@ def compile_program(
                 result.from_cache = True
                 return _maybe_verify(program, result, verify)
 
+    check_cancel(cancel, "before scheduling")
+
     if backend == "ft":
         ft_result = ft_compile(
-            program, scheduler=resolved_scheduler, run_peephole=run_peephole
+            program, scheduler=resolved_scheduler, run_peephole=run_peephole,
+            cancel=cancel,
         )
         result = CompilationResult(
             circuit=ft_result.circuit,
@@ -165,6 +177,7 @@ def compile_program(
             edge_error=edge_error,
             run_peephole=run_peephole,
             restarts=restarts,
+            cancel=cancel,
         )
         result = CompilationResult(
             circuit=sc_result.circuit,

@@ -30,7 +30,7 @@ unitary equivalence against the exact product of exponentials.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from ..ir import PauliProgram
 from ..pauli import PauliString
 from ..pauli.symplectic import PauliTable, popcount
 from ..transpile import optimize
+from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
 from .synthesis import SynthesisPlan, aligned_chain_plan, pauli_rotation_gates
 
@@ -320,12 +321,14 @@ def ft_compile(
     scheduler: str = "gco",
     run_peephole: bool = True,
     junction_policy: str = "paired",
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> FTResult:
     """Full FT flow: schedule, adaptively synthesize, peephole-optimize.
 
     ``scheduler`` is ``"gco"`` (gate-count-oriented, the FT default),
     ``"do"`` (depth-oriented) or ``"none"`` (program order, for ablations).
-    ``junction_policy`` is forwarded to :func:`ft_synthesize`.
+    ``junction_policy`` is forwarded to :func:`ft_synthesize`; ``cancel``
+    is polled between passes (see :mod:`repro.core.cancellation`).
     """
     if scheduler == "gco":
         schedule = gco_schedule(program)
@@ -335,8 +338,10 @@ def ft_compile(
         schedule = [[block] for block in program]
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
+    check_cancel(cancel, "after scheduling")
     terms = _flatten_schedule(schedule)
     circuit = ft_synthesize(terms, program.num_qubits, junction_policy=junction_policy)
+    check_cancel(cancel, "after synthesis")
     if run_peephole:
         circuit = optimize(circuit)
     return FTResult(circuit, terms)

@@ -31,7 +31,7 @@ recorded so tests can check full unitary equivalence on small devices.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -39,6 +39,7 @@ from ..circuit import Gate, QuantumCircuit
 from ..ir import PauliBlock, PauliProgram
 from ..pauli import PauliString
 from ..transpile import CouplingMap, Layout, dense_initial_layout, optimize, validate_routed
+from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
 
 __all__ = ["SCResult", "EmbeddedTree", "sc_compile", "SCSynthesizer"]
@@ -455,6 +456,7 @@ def sc_compile(
     run_peephole: bool = True,
     restarts: int = 1,
     seed: int = 7,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> SCResult:
     """Full SC flow: schedule, tree-embedded synthesis, peephole cleanup.
 
@@ -462,6 +464,8 @@ def sc_compile(
     keeps the lowest-CNOT result (deterministic given ``seed``; the first
     attempt is always the un-jittered layout).  The returned circuit acts on
     physical qubits and respects the coupling map (validated on return).
+    ``cancel`` is polled after scheduling and between restart attempts
+    (see :mod:`repro.core.cancellation`).
     """
     if scheduler == "do":
         schedule = do_schedule(program)
@@ -473,9 +477,12 @@ def sc_compile(
         raise ValueError(f"unknown scheduler {scheduler!r}")
     if restarts < 1:
         raise ValueError("restarts must be >= 1")
+    check_cancel(cancel, "after scheduling")
 
     best: Optional[SCResult] = None
     for attempt in range(restarts):
+        if attempt > 0:
+            check_cancel(cancel, f"before restart attempt {attempt}")
         rng = random.Random(seed + attempt) if attempt > 0 else None
         synthesizer = SCSynthesizer(coupling, edge_error, rng=rng)
         result = synthesizer.run(schedule, program.num_qubits)

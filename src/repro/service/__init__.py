@@ -1,9 +1,11 @@
-"""Serving layer: content-addressed compile caching and batch compilation.
+"""Serving layer: content-addressed compile caching, batch compilation,
+and the async compile gateway.
 
-The fourth architectural layer (above IR, scheduling, and synthesis): a
-deterministic compiler front that identifies every compilation by a content
-fingerprint, stores artifacts in a two-tier content-addressed cache, and
-shards batch traffic across worker processes with fingerprint dedupe.
+A deterministic compiler front that identifies every compilation by a
+content fingerprint, stores artifacts in a two-tier content-addressed
+cache, shards batch traffic across worker processes with fingerprint
+dedupe, and — through :mod:`repro.service.gateway` — serves all of it as
+a long-running admission-controlled streaming daemon.
 """
 
 from .artifact import (
@@ -25,14 +27,26 @@ from .fingerprint import (
     compile_fingerprint,
     program_fingerprint,
 )
+from .gateway import CompileGateway, GatewayClient, GatewayConfig, prepare_unix_path
+from .metrics import GatewayMetrics, LatencyReservoir
+from .protocol import PROTOCOL_VERSION, ProtocolError, parse_request
 
 __all__ = [
     "ARTIFACT_VERSION",
     "FINGERPRINT_VERSION",
+    "PROTOCOL_VERSION",
     "BatchEntry",
     "BatchResult",
     "CacheStats",
     "CompileCache",
+    "CompileGateway",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayMetrics",
+    "LatencyReservoir",
+    "ProtocolError",
+    "parse_request",
+    "prepare_unix_path",
     "canonical_options",
     "circuit_from_dict",
     "circuit_to_dict",

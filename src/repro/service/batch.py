@@ -135,12 +135,25 @@ def resolve_spec(spec: Dict) -> ResolvedJob:
 # ----------------------------------------------------------------------
 
 _WORKER_CACHE: Optional[CompileCache] = None
+_WORKER_STATS_BASE: Dict[str, int] = {}
 
 
-def _worker_init(cache_root: Optional[str], memory_entries: int) -> None:
-    global _WORKER_CACHE
+def _worker_init(cache_root: Optional[str], memory_entries: int,
+                 store: str = "private") -> None:
+    """Open this worker's cache.
+
+    ``store="private"`` (batch mode) gives each worker its own store under
+    ``<root>/workers/`` that the parent merges back after the pool drains;
+    ``store="shared"`` (gateway mode) points every worker directly at the
+    shared root — the atomic temp-file + ``os.replace`` publish makes
+    concurrent writers safe, and nothing needs merging afterwards.
+    """
+    global _WORKER_CACHE, _WORKER_STATS_BASE
+    _WORKER_STATS_BASE = {}
     if cache_root is None:
         _WORKER_CACHE = None
+    elif store == "shared":
+        _WORKER_CACHE = CompileCache(cache_root, memory_entries=memory_entries)
     else:
         _WORKER_CACHE = CompileCache(
             os.path.join(cache_root, "workers", f"worker-{os.getpid()}"),
@@ -148,18 +161,62 @@ def _worker_init(cache_root: Optional[str], memory_entries: int) -> None:
         )
 
 
-def _worker_compile(payload: Tuple[str, Dict, Dict]) -> Tuple[str, str, float]:
-    """Compile one deduped job; returns (fingerprint, artifact, seconds)."""
-    from ..core.compiler import compile_program
+def _worker_stats_delta() -> Dict[str, int]:
+    """This worker cache's counter movement since the previous report.
 
-    fingerprint, program_dict, options = payload
+    Shipping deltas with every result (rather than discarding worker
+    stats, as the merge used to) keeps the batch/gateway accounting
+    exact: a worker whose LRU front fills mid-run reports those
+    evictions instead of silently dropping them.
+    """
+    global _WORKER_STATS_BASE
+    if _WORKER_CACHE is None:
+        return {}
+    snap = _WORKER_CACHE.stats.snapshot()
+    delta = {
+        key: value - _WORKER_STATS_BASE.get(key, 0)
+        for key, value in snap.items()
+        if value != _WORKER_STATS_BASE.get(key, 0)
+    }
+    _WORKER_STATS_BASE = snap
+    return delta
+
+
+def _worker_compile(payload: Tuple) -> Tuple[str, Optional[str], float,
+                                             Optional[Dict], Dict, int]:
+    """Compile one deduped job.
+
+    ``payload`` is ``(fingerprint, program_dict, options)`` plus an
+    optional fourth ``cancel_path`` element: when given, the compile
+    aborts cooperatively as soon as that flag file appears (the gateway
+    touches it when every client waiting on the job has gone away).
+
+    Returns ``(fingerprint, artifact_or_None, seconds, metrics_or_None,
+    worker_stats_delta, pid)``; the artifact is ``None`` when the job was
+    cancelled mid-compile.
+    """
+    from ..core.compiler import CompilationCancelled, compile_program
+
+    fingerprint, program_dict, options = payload[:3]
+    cancel_path = payload[3] if len(payload) > 3 else None
+    cancel = None
+    if cancel_path is not None:
+        cancel = lambda: os.path.exists(cancel_path)  # noqa: E731
     program = program_from_dict(program_dict)
     start = time.perf_counter()
-    result = compile_program(
-        program, cache=_WORKER_CACHE, **_option_kwargs(options)
-    )
+    try:
+        result = compile_program(
+            program, cache=_WORKER_CACHE, cancel=cancel,
+            **_option_kwargs(options)
+        )
+    except CompilationCancelled:
+        return (fingerprint, None, time.perf_counter() - start, None,
+                _worker_stats_delta(), os.getpid())
     elapsed = time.perf_counter() - start
-    return fingerprint, dumps_artifact(result), elapsed
+    if result.fingerprint is None:
+        result.fingerprint = fingerprint
+    return (fingerprint, dumps_artifact(result), elapsed, result.metrics,
+            _worker_stats_delta(), os.getpid())
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +250,11 @@ class BatchResult:
     merged_artifacts: int = 0
     unique_jobs: int = 0
     dispatched_jobs: int = 0
+    #: Aggregate counter movement across the pool's worker-side caches
+    #: (private stores in batch mode, the shared store in gateway mode).
+    worker_stats: Optional[Dict] = None
+    #: Jobs completed per worker pid (empty for the serial path).
+    per_worker: Dict[int, int] = field(default_factory=dict)
 
     def summary(self) -> Dict:
         out = {
@@ -207,6 +269,8 @@ class BatchResult:
         }
         if self.cache_stats is not None:
             out["cache"] = self.cache_stats
+        if self.worker_stats:
+            out["worker_cache"] = self.worker_stats
         return out
 
 
@@ -215,12 +279,20 @@ def compile_batch(
     cache: Optional[CompileCache] = None,
     workers: int = 1,
     worker_memory_entries: int = 64,
+    worker_store: str = "private",
 ) -> BatchResult:
     """Compile a stream of job specs, deduped and sharded across workers.
 
     ``workers <= 1`` compiles serially in-process (no pool overhead), still
-    with fingerprint dedupe and cache reuse.
+    with fingerprint dedupe and cache reuse.  ``worker_store`` selects how
+    pool workers see the disk store: ``"private"`` stores merged back after
+    the pool drains (the batch default), or ``"shared"`` — every worker
+    writes the shared root directly (atomic publishes, nothing to merge),
+    with the workers' counter movement folded into ``cache.stats`` since
+    they are operations on that same store.
     """
+    if worker_store not in ("private", "shared"):
+        raise ValueError(f"unknown worker_store {worker_store!r}")
     start = time.perf_counter()
     jobs = [resolve_spec(spec) for spec in specs]
     fingerprints = [job.fingerprint() for job in jobs]
@@ -245,6 +317,8 @@ def compile_batch(
         pending.append(index)
 
     merged = 0
+    worker_stats: Dict[str, int] = {}
+    per_worker: Dict[int, int] = {}
     if pending and workers > 1:
         cache_root = str(cache.root) if cache is not None and cache.root else None
         payloads = [
@@ -254,15 +328,20 @@ def compile_batch(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(cache_root, worker_memory_entries),
+            initargs=(cache_root, worker_memory_entries, worker_store),
         ) as pool:
-            for fp, text, elapsed in pool.map(_worker_compile, payloads):
+            for fp, text, elapsed, _metrics, delta, pid in pool.map(
+                    _worker_compile, payloads):
                 artifact_by_fp[fp] = text
                 seconds_by_fp[fp] = elapsed
+                per_worker[pid] = per_worker.get(pid, 0) + 1
+                for key, value in delta.items():
+                    worker_stats[key] = worker_stats.get(key, 0) + value
         # Fold the workers' private stores into the shared one *before* the
         # parent's own puts (so `merged` reflects the pool's output), then
         # drop them — their content now lives in the shared store.
-        if cache is not None and cache.root is not None:
+        if (cache is not None and cache.root is not None
+                and worker_store == "private"):
             workers_dir = cache.root / "workers"
             if workers_dir.is_dir():
                 for worker_root in sorted(workers_dir.iterdir()):
@@ -270,9 +349,19 @@ def compile_batch(
                         merged += cache.merge_from(worker_root)
                 shutil.rmtree(workers_dir, ignore_errors=True)
         if cache is not None:
+            shared_disk = worker_store == "shared" and cache.root is not None
+            if shared_disk:
+                # The workers' puts/evictions happened *on this store*;
+                # fold them into its stats instead of dropping them.
+                cache.stats.absorb(worker_stats)
             for index in pending:
-                # adopt(): the merge above already placed these on disk.
-                cache.adopt(fingerprints[index], artifact_by_fp[fingerprints[index]])
+                fp = fingerprints[index]
+                if shared_disk:
+                    # Already on disk, already counted — just make it hot.
+                    cache.promote(fp, artifact_by_fp[fp])
+                else:
+                    # adopt(): the merge above already placed these on disk.
+                    cache.adopt(fp, artifact_by_fp[fp])
     elif pending:
         from ..core.compiler import compile_program
 
@@ -311,4 +400,6 @@ def compile_batch(
         merged_artifacts=merged,
         unique_jobs=len(first_index),
         dispatched_jobs=len(pending),
+        worker_stats=worker_stats or None,
+        per_worker=per_worker,
     )

@@ -21,17 +21,45 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Union
 
 __all__ = ["CacheStats", "CompileCache"]
 
 
+def _tmp_writer_pid(name: str) -> Optional[int]:
+    """Writer pid embedded in a ``pub-<pid>-*.tmp`` name, else ``None``."""
+    if not name.startswith("pub-"):
+        return None
+    head = name[4:].split("-", 1)[0]
+    return int(head) if head.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True   # alive, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
 @dataclass
 class CacheStats:
-    """Counters for one :class:`CompileCache` instance's lifetime."""
+    """Counters for one :class:`CompileCache` instance's lifetime.
+
+    Increments go through :meth:`add` under an internal lock, so several
+    threads (gateway handlers, batch mergers) sharing one cache can never
+    lose or double-count an update; :meth:`absorb` folds another
+    instance's counters in (used to account worker-process stores back
+    into the store they share or report against).
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -39,6 +67,10 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     merged: int = 0
+    discards: int = 0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
 
     @property
     def hits(self) -> int:
@@ -48,10 +80,34 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    def add(self, **deltas: int) -> None:
+        """Atomically add ``field=delta`` counter increments."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def absorb(self, other: Union["CacheStats", Dict[str, int]]) -> None:
+        """Fold another stats object's counters into this one.
+
+        ``other`` may be a :class:`CacheStats` or a plain counter dict
+        (e.g. a worker process's :meth:`snapshot` shipped over a pipe);
+        unknown keys — including the derived ``hits``/``lookups`` of
+        :meth:`as_dict` — are ignored.
+        """
+        if isinstance(other, CacheStats):
+            other = other.snapshot()
+        names = {f.name for f in fields(self)}
+        self.add(**{k: v for k, v in other.items() if k in names})
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain counter dict (no derived fields), read atomically."""
+        with self._lock:
+            return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def as_dict(self) -> Dict[str, int]:
-        out = asdict(self)
-        out["hits"] = self.hits
-        out["lookups"] = self.lookups
+        out = self.snapshot()
+        out["hits"] = out["memory_hits"] + out["disk_hits"]
+        out["lookups"] = out["hits"] + out["misses"]
         return out
 
 
@@ -97,7 +153,7 @@ class CompileCache:
             text = self._memory.get(fingerprint)
             if text is not None:
                 self._memory.move_to_end(fingerprint)
-                self.stats.memory_hits += 1
+                self.stats.add(memory_hits=1)
                 return text
         if self.root is not None:
             try:
@@ -106,11 +162,10 @@ class CompileCache:
                 text = None
             if text is not None:
                 with self._lock:
-                    self.stats.disk_hits += 1
+                    self.stats.add(disk_hits=1)
                     self._remember(fingerprint, text)
                 return text
-        with self._lock:
-            self.stats.misses += 1
+        self.stats.add(misses=1)
         return None
 
     def put(self, fingerprint: str, text: str) -> None:
@@ -118,7 +173,7 @@ class CompileCache:
         if self.root is not None:
             self._write_disk(fingerprint, text)
         with self._lock:
-            self.stats.puts += 1
+            self.stats.add(puts=1)
             self._remember(fingerprint, text)
 
     def adopt(self, fingerprint: str, text: str) -> None:
@@ -129,26 +184,75 @@ class CompileCache:
         if self.root is not None and not self._path(fingerprint).exists():
             self._write_disk(fingerprint, text)
         with self._lock:
-            self.stats.puts += 1
+            self.stats.add(puts=1)
             self._remember(fingerprint, text)
+
+    def promote(self, fingerprint: str, text: str) -> None:
+        """Insert into the memory front only — no disk IO, no put counted.
+
+        For artifacts that already live in the shared disk store because a
+        worker process wrote them there (shared-store mode): the write was
+        counted by the worker, the parent just wants the hot key resident.
+        """
+        with self._lock:
+            self._remember(fingerprint, text)
+
+    def discard(self, fingerprint: str) -> bool:
+        """Drop one artifact from both tiers; ``True`` if anything was
+        removed.  Concurrent readers either see the old bytes or a miss —
+        never a partial file (removal is a single ``unlink``)."""
+        with self._lock:
+            removed = self._memory.pop(fingerprint, None) is not None
+        if self.root is not None:
+            try:
+                os.unlink(self._path(fingerprint))
+                removed = True
+            except (FileNotFoundError, NotADirectoryError):
+                pass
+        if removed:
+            self.stats.add(discards=1)
+        return removed
 
     def _remember(self, fingerprint: str, text: str) -> None:
         """Insert into the LRU front, evicting beyond capacity.  Caller
         holds the lock."""
         self._memory[fingerprint] = text
         self._memory.move_to_end(fingerprint)
+        evicted = 0
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
-            self.stats.evictions += 1
+            evicted += 1
+        if evicted:
+            self.stats.add(evictions=evicted)
 
-    def _write_disk(self, fingerprint: str, text: str) -> None:
+    def _write_disk(self, fingerprint: str, text: str,
+                    exclusive: bool = False) -> bool:
+        """Atomically publish ``text`` under the key's path.
+
+        ``exclusive=True`` publishes via ``link`` (fails on an existing
+        key instead of rewriting it) and returns whether *this* call
+        created the entry — the primitive that makes concurrent merge
+        counts exact: two racing mergers of one key get one ``True``.
+        """
         path = self._path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        # The pid in the temp name lets sweep_stale_tmp tell a live
+        # writer's in-flight publish from a dead one's orphan.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f"pub-{os.getpid()}-", suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(text)
+            if exclusive:
+                try:
+                    os.link(tmp, path)
+                    created = True
+                except FileExistsError:
+                    created = False
+                os.unlink(tmp)
+                return created
             os.replace(tmp, path)
+            return True
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -192,11 +296,48 @@ class CompileCache:
         with self._lock:
             self._memory.clear()
 
+    def sweep_stale_tmp(self, max_age_seconds: float = 300.0) -> int:
+        """Remove orphaned ``.tmp`` files left by writers that died between
+        ``mkstemp`` and the atomic publish (e.g. a SIGKILLed worker).
+
+        Such files are invisible to readers — this is purely disk hygiene.
+        Temp names embed the writer's pid (``pub-<pid>-*.tmp``): a file
+        whose writer is still alive is *never* touched, whatever its age
+        (several daemons may share one store), a dead writer's file goes
+        immediately, and unattributable files fall back to the
+        ``max_age_seconds`` rule.  Returns the number removed.
+        """
+        if self.root is None or not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for tmp in self.root.rglob("*.tmp"):
+            writer = _tmp_writer_pid(tmp.name)
+            if writer is not None:
+                if _pid_alive(writer):
+                    continue
+            else:
+                try:
+                    if tmp.stat().st_mtime > cutoff:
+                        continue
+                except OSError:
+                    continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def merge_from(self, other_root: os.PathLike) -> int:
         """Adopt every artifact of another on-disk store not already held.
 
         Used to fold batch workers' private stores back into the shared
-        one; returns the number of artifacts copied.
+        one; returns the number of artifacts copied.  Exact under
+        contention: the copy publishes with an exclusive link, so two
+        processes merging the same key into one store count one copy
+        between them, and a source entry deleted mid-merge is skipped
+        rather than half-copied.
         """
         if self.root is None:
             raise ValueError("cannot merge into a memory-only cache")
@@ -206,8 +347,12 @@ class CompileCache:
             path = self._path(fingerprint)
             if path.exists():
                 continue
-            text = other._path(fingerprint).read_text()
-            self._write_disk(fingerprint, text)
-            copied += 1
-        self.stats.merged += copied
+            try:
+                text = other._path(fingerprint).read_text()
+            except (FileNotFoundError, NotADirectoryError):
+                continue
+            if self._write_disk(fingerprint, text, exclusive=True):
+                copied += 1
+        if copied:
+            self.stats.add(merged=copied)
         return copied

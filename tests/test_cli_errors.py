@@ -1,0 +1,149 @@
+"""CLI exit codes and malformed-input paths.
+
+Contract: 0 = success, 1 = the work ran but something failed
+(verification mismatch, failed job), 2 = the invocation itself was bad
+(unreadable specs, unknown benchmark, busy port, no server).  These are
+what CI scripts and the nightly soak wrapper branch on, so they get
+pinned here; all tests drive ``repro.cli.main`` in-process for speed.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    CompileCache,
+    canonical_options,
+    compile_fingerprint,
+)
+from repro.ir import parse_program
+
+GOOD_SPEC = {"text": "{(XXI, 1.0), (YYI, 0.5), 0.3};", "label": "a"}
+
+
+def write_specs(path, rows):
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write((row if isinstance(row, str) else json.dumps(row)) + "\n")
+    return str(path)
+
+
+class TestCompileBatchErrors:
+    def test_truncated_jsonl_exits_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [
+            GOOD_SPEC,
+            '{"text": "{(XX, 1.0), 0.5};", "lab',   # truncated mid-object
+        ])
+        assert main(["compile-batch", specs]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["compile-batch", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_empty_file_exits_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "empty.jsonl", ["# only a comment"])
+        assert main(["compile-batch", specs]) == 2
+        assert "no job specs" in capsys.readouterr().err
+
+    def test_unresolvable_spec_exits_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "bad.jsonl", [{"label": "keyless"}])
+        assert main(["compile-batch", specs]) == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_good_batch_exits_0(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "ok.jsonl", [GOOD_SPEC])
+        out = str(tmp_path / "artifacts.jsonl")
+        assert main(["compile-batch", specs, "--out", out]) == 0
+        assert len(open(out).readlines()) == 1
+
+
+class TestVerifyErrors:
+    def test_missing_cache_entry_exits_1_without_allow_missing(
+            self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        empty = str(tmp_path / "cache")
+        assert main(["verify", specs, "--cache", empty]) == 1
+        assert "missing" in capsys.readouterr().err
+        assert main(["verify", specs, "--cache", empty, "--allow-missing"]) == 0
+
+    def test_corrupt_artifact_exits_1(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        cache = CompileCache(tmp_path / "cache")
+        fingerprint = compile_fingerprint(
+            parse_program(GOOD_SPEC["text"]), canonical_options("ft", "gco"))
+        cache.put(fingerprint, '{"version": 1, "kind": "garbage"')
+        assert main(["verify", specs, "--cache", str(tmp_path / "cache")]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_verified_artifact_exits_0(self, tmp_path):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        cache_dir = str(tmp_path / "cache")
+        assert main(["compile-batch", specs, "--cache", cache_dir]) == 0
+        assert main(["verify", specs, "--cache", cache_dir]) == 0
+
+
+class TestCompileErrors:
+    def test_unknown_benchmark_exits_2(self, capsys):
+        assert main(["compile", "No-Such-Benchmark"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestServeErrors:
+    def test_busy_tcp_port_exits_2(self, capsys):
+        squatter = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            squatter.bind(("127.0.0.1", 0))
+            squatter.listen(1)
+            port = squatter.getsockname()[1]
+            assert main(["serve", "--port", str(port), "--workers", "0"]) == 2
+            assert "cannot bind gateway" in capsys.readouterr().err
+        finally:
+            squatter.close()
+
+    def test_busy_unix_socket_exits_2(self, tmp_path, capsys):
+        path = str(tmp_path / "gw.sock")
+        squatter = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            squatter.bind(path)
+            squatter.listen(1)
+            assert main(["serve", "--socket", path, "--workers", "0"]) == 2
+            assert "cannot bind gateway" in capsys.readouterr().err
+        finally:
+            squatter.close()
+
+    def test_stale_unix_socket_is_reclaimed(self, tmp_path):
+        """A dead gateway's leftover socket file must not wedge restarts:
+        prepare_unix_path unlinks it when nothing is listening."""
+        from repro.service import prepare_unix_path
+
+        path = tmp_path / "stale.sock"
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(str(path))
+        dead.close()               # socket file left behind, no listener
+        assert path.exists()
+        prepare_unix_path(str(path))
+        assert not path.exists()
+
+
+class TestClientErrors:
+    def test_no_server_exits_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        # Grab a port that is definitely closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["client", specs, "--port", str(port)]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_no_specs_and_no_stats_exits_2(self, capsys):
+        assert main(["client"]) == 2
+        assert "SPECS.jsonl" in capsys.readouterr().err
+
+    def test_truncated_specs_exit_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", ['{"text": "{(X'])
+        assert main(["client", specs, "--port", "1"]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err

@@ -30,6 +30,7 @@ verifier — so they can never come back.
 """
 
 import json
+import os
 from collections import Counter
 from pathlib import Path
 
@@ -57,6 +58,10 @@ OPT_LEVELS = (0, 1, 2, 3)
 MAX_QUBITS = 10
 #: Paper-scale band checked by Pauli propagation only.
 MIN_BIG_QUBITS, MAX_BIG_QUBITS = 17, 30
+#: Case-count multiplier for extended hunts: the nightly CI job sets
+#: ``REPRO_FUZZ_SCALE=5`` (~600 generated cases across the entry points
+#: below) on top of the per-commit defaults.
+FUZZ_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
 
 
 # ----------------------------------------------------------------------
@@ -241,31 +246,31 @@ def check_big_sc_case(program):
 # ----------------------------------------------------------------------
 
 @given(pauli_programs())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40 * FUZZ_SCALE, deadline=None)
 def test_ft_differential_fuzz(program):
     check_ft_case(program)
 
 
 @given(pauli_programs(max_qubits=6))
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25 * FUZZ_SCALE, deadline=None)
 def test_sc_differential_fuzz(program):
     check_sc_case(program)
 
 
 @given(pauli_programs(max_qubits=6))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30 * FUZZ_SCALE, deadline=None)
 def test_reference_engine_differential_fuzz(program):
     check_reference_engine_case(program)
 
 
 @given(pauli_programs(min_qubits=MIN_BIG_QUBITS, max_qubits=MAX_BIG_QUBITS))
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15 * FUZZ_SCALE, deadline=None)
 def test_big_ft_pauli_propagation_fuzz(program):
     check_big_ft_case(program)
 
 
 @given(pauli_programs(min_qubits=MIN_BIG_QUBITS, max_qubits=MAX_BIG_QUBITS))
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10 * FUZZ_SCALE, deadline=None)
 def test_big_sc_pauli_propagation_fuzz(program):
     check_big_sc_case(program)
 

@@ -1,0 +1,570 @@
+"""Functional tests for the async compile gateway.
+
+Fast battery (tier-1): protocol parsing, warm/cold lanes, streaming,
+in-flight dedupe, admission control, cancellation, disconnect cleanup,
+stats reconciliation, and one process-pool round trip with worker-death
+recovery.  The 60-second churn/soak battery lives in
+``test_gateway_soak.py`` behind ``-m slow``.
+
+Most tests run the gateway in thread mode (``workers=0``) inside the
+test's own event loop — no subprocesses, millisecond setup — because the
+admission/fairness/dedupe logic is identical in both modes; process mode
+gets its own dedicated tests at the bottom.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import CompilationCancelled, compile_program
+from repro.ir import parse_program
+from repro.service import (
+    CompileGateway,
+    GatewayClient,
+    GatewayConfig,
+    ProtocolError,
+    parse_request,
+)
+from repro.service.protocol import (
+    E_BAD_SPEC,
+    E_CANCELLED,
+    E_OVERLOADED,
+    E_UNSUPPORTED,
+    decode_frame,
+    encode_frame,
+)
+
+SPEC_A = {"text": "{(XXI, 1.0), (YYI, 0.5), 0.3};", "label": "a"}
+SPEC_B = {"text": "{(IZZ, -0.25), 0.7};", "label": "b"}
+#: Heavy enough that cancellation can land between passes (~1s in thread
+#: mode: a wide random SC compile with restarts).
+SLOW_SPEC = {
+    "benchmark": "Rand-30", "scale": "paper", "label": "slow",
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_gateway(tmp_path, **overrides):
+    kwargs = dict(cache_root=str(tmp_path / "cache"), workers=0, port=0)
+    kwargs.update(overrides)
+    gateway = CompileGateway(GatewayConfig(**kwargs))
+    await gateway.start()
+    return gateway
+
+
+class TestProtocol:
+    def test_roundtrip_and_validation(self):
+        frame = decode_frame(encode_frame({"op": "ping", "id": 3}))
+        request = parse_request(frame)
+        assert request.op == "ping" and request.id == "3"
+
+        request = parse_request(
+            {"op": "compile", "id": "x", "spec": {"text": "t"}})
+        assert request.want == "metrics" and request.spec == {"text": "t"}
+
+    @pytest.mark.parametrize("bad", [
+        b"not json\n",
+        b"[1, 2]\n",
+        b'{"op": "nope", "id": "1"}',
+        b'{"op": "compile"}',                      # no id
+        b'{"op": "compile", "id": "1"}',           # no spec
+        b'{"op": "compile", "id": "1", "spec": 4}',
+        b'{"op": "compile", "id": "1", "spec": {}, "want": "everything"}',
+        b'{"op": "cancel"}',
+        b'{"op": "compile", "id": {"a": 1}, "spec": {}}',
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_request(bad)
+
+    def test_salvages_request_id_for_error_correlation(self):
+        try:
+            parse_request(b'{"op": "warp", "id": "r9"}')
+        except ProtocolError as exc:
+            assert exc.request_id == "r9"
+        else:  # pragma: no cover
+            pytest.fail("expected ProtocolError")
+
+
+class TestWarmColdLanes:
+    def test_cold_then_warm_and_stats(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            cold = await client.compile(SPEC_A, "r1")
+            assert cold["ok"] and not cold["cached"]
+            assert cold["metrics"]["cnot"] > 0
+            warm = await client.compile(SPEC_A, "r2")
+            assert warm["ok"] and warm["cached"]
+            assert warm["fingerprint"] == cold["fingerprint"]
+            assert warm["metrics"] == cold["metrics"]
+
+            stats = await client.stats()
+            assert stats["requests"]["received"] == 2
+            assert stats["requests"]["warm_hits"] == 1
+            assert stats["requests"]["completed"] == 1
+            assert stats["queue"]["depth"] == 0
+            assert stats["cache"]["hit_rate"] == 0.5
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_artifact_want_round_trips(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            response = await client.compile(SPEC_A, "r1", want="artifact")
+            assert response["ok"]
+            from repro.service import result_from_dict
+
+            result = result_from_dict(response["artifact"])
+            direct = compile_program(parse_program(SPEC_A["text"]))
+            assert result.metrics == direct.metrics
+            ack = await client.compile(SPEC_A, "r2", want="ack")
+            assert ack["ok"] and "metrics" not in ack
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_warm_hits_answer_while_cold_compile_runs(self, tmp_path):
+        """The streaming property: a hit is never queued behind a miss."""
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            await client.compile(SPEC_A, "seed")           # populate cache
+            await client._send(
+                {"op": "compile", "id": "cold", "spec": SLOW_SPEC})
+            t0 = time.perf_counter()
+            warm = await client.compile(SPEC_A, "warm", timeout=30)
+            warm_latency = time.perf_counter() - t0
+            assert warm["ok"] and warm["cached"]
+            # The cold Rand-30 compile takes ~1s; the warm answer must
+            # arrive while it still runs, not after it.
+            assert warm_latency < 0.5
+            cold = await client.request({"op": "ping", "id": "drain"},
+                                        timeout=120)
+            assert cold["op"] == "pong"
+            slow = client._stash.pop("cold", None)
+            if slow is None:
+                slow = await client.request(
+                    {"op": "compile", "id": "cold2", "spec": SLOW_SPEC},
+                    timeout=120)
+            assert slow["ok"]
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_corrupt_cached_artifact_heals_to_cold_compile(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            first = await client.compile(SPEC_A, "r1")
+            gateway.cache.put(first["fingerprint"], "{ corrupt }")
+            gateway._metrics_memo.clear()
+            healed = await client.compile(SPEC_A, "r2")
+            assert healed["ok"] and not healed["cached"]
+            assert healed["metrics"] == first["metrics"]
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+
+class TestDedupeAndFairness:
+    def test_identical_inflight_requests_compile_once(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            specs = [SPEC_B] * 6
+            responses, _ = await client.run_specs(specs, window=6)
+            assert all(r["ok"] for r in responses)
+            fingerprints = {r["fingerprint"] for r in responses}
+            assert len(fingerprints) == 1
+            stats = await client.stats()
+            # 6 admitted, 1 dispatch: the cache saw one miss and one put.
+            assert stats["requests"]["admitted"] == 6
+            assert stats["cache"]["puts"] == 1
+            assert stats["requests"]["completed"] == 6
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_round_robin_interleaves_two_clients(self, tmp_path):
+        """Client B's single job must not wait behind all of client A's
+        queued flood (fairness: B's first dispatch happens before A's
+        queue drains)."""
+        async def scenario():
+            gateway = await make_gateway(tmp_path, queue_limit=64)
+            flooder = await GatewayClient.connect(port=gateway.port)
+            light = await GatewayClient.connect(port=gateway.port)
+            flood_specs = [
+                {"text": f"{{(XYZII, 1.0), (ZZXII, 0.5), 0.{i+1}}};",
+                 "label": f"flood{i}"}
+                for i in range(5)
+            ]
+            for i, spec in enumerate(flood_specs):
+                await flooder._send(
+                    {"op": "compile", "id": f"f{i}", "spec": spec})
+            response = await light.compile(SPEC_A, "light", timeout=60)
+            assert response["ok"]
+            completions = []
+
+            async def drain_flood():
+                got = 0
+                while got < len(flood_specs):
+                    frame = await flooder._read_frame()
+                    if frame.get("op") == "compile":
+                        completions.append(frame["id"])
+                        got += 1
+
+            await asyncio.wait_for(drain_flood(), 120)
+            stats = await light.stats()
+            assert stats["queue"]["depth"] == 0
+            await flooder.close()
+            await light.close()
+            await gateway.close()
+
+        run(scenario())
+
+
+class TestAdmissionControl:
+    def test_per_client_limit_rejects_with_overloaded(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(
+                tmp_path, per_client_limit=2, queue_limit=64)
+            client = await GatewayClient.connect(port=gateway.port)
+            # Distinct cold programs so nothing dedupes; the first is slow
+            # enough that the client's unanswered count stays at the cap
+            # while the later frames arrive.
+            await client._send({"op": "compile", "id": "r0",
+                                "spec": SLOW_SPEC})
+            for i in range(1, 3):
+                await client._send({
+                    "op": "compile", "id": f"r{i}",
+                    "spec": {"text": f"{{(XXIII, 1.0), 0.{i+1}}};"},
+                })
+            rejected = None
+            answered = 0
+            while answered < 3:
+                frame = await asyncio.wait_for(client._read_frame(), 60)
+                if frame.get("op") != "compile":
+                    continue
+                answered += 1
+                if not frame["ok"]:
+                    rejected = frame
+            assert rejected is not None
+            assert rejected["code"] == E_OVERLOADED
+            stats = await client.stats()
+            assert stats["requests"]["rejected"] == 1
+            assert stats["requests"]["admitted"] == 2
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_queue_limit_rejects_across_clients(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(
+                tmp_path, queue_limit=1, per_client_limit=16)
+            a = await GatewayClient.connect(port=gateway.port)
+            b = await GatewayClient.connect(port=gateway.port)
+
+            async def wait_for(predicate):
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    stats = await b.stats()
+                    if predicate(stats["queue"]):
+                        return
+                    await asyncio.sleep(0.02)
+                pytest.fail("queue never reached the expected state")
+
+            await a._send({"op": "compile", "id": "a0", "spec": SLOW_SPEC})
+            await wait_for(lambda q: q["in_flight"] == 1)
+            await a._send({
+                "op": "compile", "id": "a1",
+                "spec": {"text": "{(YYYY, 1.0), 0.5};"},
+            })
+            await wait_for(lambda q: q["depth"] == 1)
+            response = await b.compile(
+                {"text": "{(ZZZZZ, 1.0), 0.5};"}, "b0", timeout=5)
+            assert not response["ok"] and response["code"] == E_OVERLOADED
+            await a.close()
+            await b.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_cancel_frees_queue_capacity_immediately(self, tmp_path):
+        """Regression: cancelled undispatched jobs must leave the queue at
+        once, not squat on queue_limit until a compile slot frees."""
+        async def scenario():
+            gateway = await make_gateway(
+                tmp_path, queue_limit=2, per_client_limit=16)
+            a = await GatewayClient.connect(port=gateway.port)
+            b = await GatewayClient.connect(port=gateway.port)
+
+            await a._send({"op": "compile", "id": "busy", "spec": SLOW_SPEC})
+            deadline = time.monotonic() + 60
+            while (await b.stats())["queue"]["in_flight"] != 1:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.02)
+            # Fill the queue, then cancel everything in it.
+            for i in range(2):
+                await a._send({"op": "compile", "id": f"q{i}",
+                               "spec": {"text": f"{{(XXYY, 1.0), 0.{i+1}}};"}})
+            while (await b.stats())["queue"]["depth"] != 2:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.02)
+            for i in range(2):
+                await a.cancel(f"q{i}")
+            stats = await b.stats()
+            assert stats["queue"]["depth"] == 0
+            # Another client's request is admitted while `busy` still runs.
+            response = await b.compile(
+                {"text": "{(ZZXX, 1.0), 0.5};"}, "b0", timeout=120)
+            assert response["ok"]
+            await a.close()
+            await b.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_bad_spec_is_answered_not_fatal(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            bad = await client.compile({"benchmark": "No-Such"}, "r1")
+            assert not bad["ok"] and bad["code"] == E_BAD_SPEC
+            bad2 = await client.compile({"label": "nothing"}, "r2")
+            assert not bad2["ok"] and bad2["code"] == E_BAD_SPEC
+            good = await client.compile(SPEC_A, "r3")
+            assert good["ok"]
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_malformed_frame_keeps_connection_alive(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            client._writer.write(b"this is not json\n")
+            await client._writer.drain()
+            error = await asyncio.wait_for(client._read_frame(), 10)
+            assert error["ok"] is False and error["code"] == "bad-frame"
+            good = await client.compile(SPEC_A, "r1")
+            assert good["ok"]
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+
+class TestCancellation:
+    def test_cancel_verb_before_dispatch(self, tmp_path):
+        async def scenario():
+            # queue_limit high, but thread mode has one compile slot: the
+            # second job sits queued long enough to cancel.
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            await client._send({"op": "compile", "id": "busy",
+                                "spec": SLOW_SPEC})
+            await client._send({"op": "compile", "id": "victim",
+                                "spec": {"text": "{(XXXXX, 1.0), 0.5};"}})
+            ack = await client.cancel("victim")
+            assert ack["ok"]
+            victim = client._stash.pop("victim", None)
+            while victim is None:
+                frame = await asyncio.wait_for(client._read_frame(), 120)
+                if str(frame.get("id")) == "victim":
+                    victim = frame
+                    break
+            assert victim["ok"] is False and victim["code"] == E_CANCELLED
+            # The busy job still completes.
+            while True:
+                busy = client._stash.pop("busy", None)
+                if busy is not None:
+                    break
+                frame = await asyncio.wait_for(client._read_frame(), 120)
+                if str(frame.get("id")) == "busy":
+                    busy = frame
+                    break
+                client._stash[str(frame.get("id"))] = frame
+            assert busy["ok"]
+            stats = await client.stats()
+            assert stats["requests"]["cancelled"] == 1
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_disconnect_cancels_pending_work(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            rude = await GatewayClient.connect(port=gateway.port)
+            await rude._send({"op": "compile", "id": "d0", "spec": SLOW_SPEC})
+            await rude._send({
+                "op": "compile", "id": "d1",
+                "spec": {"text": "{(YYYYY, 1.0), 0.5};"},
+            })
+            await asyncio.sleep(0.1)
+            await rude.close()   # walk away mid-compile
+
+            watcher = await GatewayClient.connect(port=gateway.port)
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                stats = await watcher.stats()
+                # Wait until the disconnect has been *observed* (the rude
+                # client's frames may still be resolving) and everything
+                # it abandoned has drained.
+                if (stats["requests"]["disconnects"] >= 1
+                        and stats["requests"]["cancelled"] >= 2
+                        and stats["queue"]["depth"] == 0
+                        and stats["queue"]["in_flight"] == 0):
+                    break
+                await asyncio.sleep(0.1)
+            assert stats["queue"]["depth"] == 0
+            assert stats["queue"]["in_flight"] == 0
+            assert stats["requests"]["disconnects"] == 1
+            assert stats["requests"]["cancelled"] == 2
+            await watcher.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_compile_program_cancel_hook(self):
+        program = parse_program(SPEC_A["text"])
+        with pytest.raises(CompilationCancelled):
+            compile_program(program, cancel=lambda: True)
+        calls = []
+
+        def cancel():
+            calls.append(1)
+            return False
+
+        result = compile_program(program, cancel=cancel)
+        assert result.circuit.cnot_count > 0
+        assert len(calls) >= 2   # entry + at least one pass boundary
+
+    def test_sc_cancel_between_restarts(self):
+        from repro.core import sc_compile
+        from repro.transpile import linear
+
+        program = parse_program("{(ZIIZ, 1.0), 0.5};\n{(XXII, -0.5), 0.3};")
+        fired = iter([False, False, True])
+        with pytest.raises(CompilationCancelled):
+            sc_compile(program, linear(4), restarts=50,
+                       cancel=lambda: next(fired, True))
+
+
+class TestShutdownVerb:
+    def test_disabled_by_default(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            client = await GatewayClient.connect(port=gateway.port)
+            refused = await client.request({"op": "shutdown", "id": "x"})
+            assert refused["ok"] is False
+            assert refused["code"] == E_UNSUPPORTED
+            assert not gateway.shutdown_requested.is_set()
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_allowed_when_configured(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path, allow_shutdown=True)
+            client = await GatewayClient.connect(port=gateway.port)
+            accepted = await client.request({"op": "shutdown", "id": "x"})
+            assert accepted["ok"]
+            await asyncio.wait_for(gateway.shutdown_requested.wait(), 5)
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+
+class TestStatsReconciliation:
+    def test_every_received_request_has_exactly_one_outcome(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path, per_client_limit=2)
+            client = await GatewayClient.connect(port=gateway.port)
+            await client.compile(SPEC_A, "c1")          # cold -> completed
+            await client.compile(SPEC_A, "c2")          # warm hit
+            await client.compile({"text": "???"}, "c3")  # bad spec
+            responses, _ = await client.run_specs(
+                [{"text": f"{{(XZXZX, 1.0), 0.{i+1}}};"} for i in range(4)],
+                window=4, id_prefix="burst",
+            )   # 2 admitted, 2 rejected by per-client limit
+            stats = await client.stats()
+            req = stats["requests"]
+            outcomes = (req["warm_hits"] + req["completed"] + req["failed"]
+                        + req["cancelled"] + req["rejected"] + req["bad_specs"])
+            assert req["received"] == outcomes
+            assert stats["queue"]["depth"] == 0
+            assert stats["queue"]["in_flight"] == 0
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+
+class TestProcessMode:
+    """One spawn-pool round trip and the worker-death recovery path.
+
+    Slower (pool spawn ≈ 1-2 s) so kept to two tests; the soak battery
+    exercises this mode under churn.
+    """
+
+    def test_process_pool_compile_and_shared_store_stats(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path, workers=1)
+            client = await GatewayClient.connect(port=gateway.port)
+            cold = await client.compile(SPEC_A, "r1", timeout=240)
+            assert cold["ok"] and not cold["cached"]
+            warm = await client.compile(SPEC_A, "r2")
+            assert warm["cached"]
+            stats = await client.stats()
+            assert stats["workers"]["mode"] == "process"
+            assert stats["workers"]["pids"]
+            assert stats["per_worker"]
+            # Shared-store accounting: the worker's put was absorbed, the
+            # parent only promoted (no double-counted put).
+            assert stats["cache"]["puts"] == 1
+            await client.close()
+            await gateway.close()
+            # Clean shutdown leaves no pool workers behind.
+            for pid in stats["workers"]["pids"]:
+                with pytest.raises(OSError):
+                    os.kill(pid, 0)
+
+        run(scenario())
+
+    def test_worker_death_recovers_and_is_counted(self, tmp_path):
+        async def scenario():
+            gateway = await make_gateway(tmp_path, workers=1)
+            client = await GatewayClient.connect(port=gateway.port)
+            await client.compile(SPEC_A, "r1", timeout=240)
+            stats = await client.stats()
+            os.kill(stats["workers"]["pids"][0], signal.SIGKILL)
+            await asyncio.sleep(0.1)
+            after = await client.compile(SPEC_B, "r2", timeout=240)
+            assert after["ok"]
+            stats = await client.stats()
+            assert stats["requests"]["failed"] == 0
+            assert stats["workers"]["restarts"] >= 1
+            await client.close()
+            await gateway.close()
+
+        run(scenario())

@@ -319,3 +319,56 @@ class TestBatchService:
         assert not (cache.root / "workers").exists()
         # The shared store holds exactly the unique artifacts.
         assert len(list(cache.iter_fingerprints())) == 2
+
+    #: Distinct single-block programs: every job is a unique cache miss.
+    MANY_SPECS = [
+        {"text": f"{{(XZY, 1.0), 0.{i + 1}}};", "label": f"u{i}"}
+        for i in range(5)
+    ]
+
+    def test_merge_reports_worker_eviction_stats_exactly(self, tmp_path):
+        """Regression: the merge used to throw the workers' cache counters
+        away, silently dropping the evictions a full LRU front produced
+        mid-run.  With a front of 1 every worker put beyond its first
+        evicts, so the aggregate must show puts == dispatched and at least
+        (dispatched - workers) evictions."""
+        from repro.service import compile_batch
+
+        cache = CompileCache(tmp_path)
+        batch = compile_batch(
+            self.MANY_SPECS, cache=cache, workers=2, worker_memory_entries=1,
+        )
+        assert batch.dispatched_jobs == 5
+        assert batch.worker_stats is not None
+        assert batch.worker_stats["puts"] == 5
+        assert (batch.dispatched_jobs - 2 <= batch.worker_stats["evictions"]
+                <= batch.dispatched_jobs)
+        assert batch.summary()["worker_cache"] == batch.worker_stats
+        assert sum(batch.per_worker.values()) == 5
+
+    def test_shared_worker_store_folds_stats_and_skips_merge(self, tmp_path):
+        """worker_store="shared": workers write the shared root directly;
+        their puts surface in cache.stats exactly once (absorbed, not
+        re-counted by a parent adopt) and nothing needs merging."""
+        from repro.service import compile_batch
+
+        cache = CompileCache(tmp_path)
+        batch = compile_batch(
+            self.MANY_SPECS, cache=cache, workers=2, worker_store="shared",
+        )
+        assert batch.merged_artifacts == 0
+        assert not (cache.root / "workers").exists()
+        assert cache.stats.puts == 5          # worker puts, absorbed once
+        assert cache.stats.misses == 5 * 2    # parent probe + worker probe
+        assert len(list(cache.iter_fingerprints())) == 5
+        # Artifacts are hot in the parent front without a second disk write.
+        rerun = compile_batch(self.MANY_SPECS, cache=cache, workers=1)
+        assert all(entry.cached for entry in rerun.entries)
+        assert cache.stats.memory_hits == 5
+
+    def test_worker_store_validation(self, tmp_path):
+        from repro.service import compile_batch
+
+        with pytest.raises(ValueError):
+            compile_batch(self.SPECS, cache=CompileCache(tmp_path),
+                          workers=2, worker_store="psychic")
