@@ -12,6 +12,11 @@ Commands
   and run the Pauli-propagation verifier over the artifact the cache
   stores for it (catches stale, corrupted, or miscompiled artifacts at
   any qubit count, no statevector involved);
+* ``check`` — static analysis: with no arguments, re-validate every
+  shipped pipeline against the pass-contract checker and print the
+  property flow; with ``SPECS.jsonl --cache DIR``, sweep each spec's
+  program and stored artifact with the IR invariant analyzer, naming
+  the first broken invariant (e.g. ``tape.wire-links``) on failure;
 * ``serve`` — run the async compile gateway: a long-lived daemon serving
   newline-delimited JSON compile requests over a local socket, with
   admission control and the content-addressed cache shared across all
@@ -278,6 +283,113 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Static checks: pipeline contracts or cached-artifact invariants."""
+    from .static import (
+        PipelineChecker,
+        PipelineContractError,
+        check_program,
+        check_result,
+        shipped_pipelines,
+    )
+
+    if args.specs is None:
+        # Contract mode: importing repro.static already self-checked the
+        # shipped pipelines, but re-running here prints the property flow
+        # and keeps the CLI honest about *which* sequences were proven.
+        checker = PipelineChecker()
+        rows = []
+        bad = 0
+        for pipeline in shipped_pipelines():
+            try:
+                final = checker.check(
+                    pipeline.passes, initial=pipeline.initial,
+                    goal=pipeline.goal, name=pipeline.name,
+                )
+            except PipelineContractError as exc:
+                bad += 1
+                rows.append([pipeline.name, len(pipeline.passes), "FAIL", str(exc)])
+            else:
+                rows.append([
+                    pipeline.name, len(pipeline.passes), "ok",
+                    " ".join(sorted(final)),
+                ])
+        print(format_table(
+            ["Pipeline", "Passes", "Status", "Final properties"], rows))
+        print(f"{len(rows) - bad} of {len(rows)} shipped pipelines well-composed")
+        return 1 if bad else 0
+
+    if not args.cache:
+        print("check SPECS.jsonl needs --cache DIR (the artifact store); "
+              "run plain 'check' for the pipeline-contract mode",
+              file=sys.stderr)
+        return 2
+
+    from .service import CompileCache, loads_artifact, resolve_spec
+    from .service.batch import _option_kwargs
+
+    specs = _read_specs(args.specs)
+    if specs is None:
+        return 2
+
+    cache = CompileCache(args.cache)
+    rows = []
+    failed = missing = 0
+    for index, spec in enumerate(specs):
+        try:
+            job = resolve_spec(spec)
+        except ValueError as exc:
+            print(f"bad job spec on line {index}: {exc}", file=sys.stderr)
+            return 2
+        # The input program is checked regardless of cache state: a
+        # malformed program poisons every artifact derived from it.
+        report = check_program(job.program, subject=job.label)
+        fingerprint = job.fingerprint()
+        stored = cache.get(fingerprint)
+        if stored is None:
+            if report.ok:
+                missing += 1
+                rows.append([index, job.label, fingerprint[:12],
+                             "missing", "-", "no stored artifact"])
+                continue
+        else:
+            try:
+                result = loads_artifact(stored)
+            except (ValueError, KeyError, TypeError, AttributeError) as exc:
+                failed += 1
+                rows.append([index, job.label, fingerprint[:12],
+                             "FAIL", "artifact.decode",
+                             f"cannot rebuild artifact: {exc}"])
+                continue
+            coupling = _option_kwargs(job.options)["coupling"]
+            report.merge(check_result(result, coupling=coupling))
+        if report.ok:
+            note = f"{len(report.warnings)} warning(s)" if report.warnings else "-"
+            rows.append([index, job.label, fingerprint[:12], "ok", "-", note])
+        else:
+            failed += 1
+            first = report.errors[0]
+            rows.append([index, job.label, fingerprint[:12], "FAIL",
+                         first.invariant,
+                         f"{first.location}: {first.message}"])
+    print(format_table(
+        ["#", "Job", "Fingerprint", "Status", "Invariant", "Detail"], rows))
+    print(
+        f"checked={len(specs) - missing} failed={failed} missing={missing} "
+        f"of {len(specs)} spec(s)"
+    )
+    if failed:
+        return 1
+    if missing and not args.allow_missing:
+        print(
+            "some artifacts are missing from the cache; compile them first "
+            "(compile-batch) or pass --allow-missing",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the compile gateway daemon until SIGINT/SIGTERM (exit 0)."""
     import asyncio
@@ -513,6 +625,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-missing", action="store_true",
                    help="exit 0 even when some specs have no stored artifact")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis: pipeline pass-contract validation (no "
+             "arguments) or IR invariant sweep of cached artifacts "
+             "(SPECS.jsonl --cache DIR)",
+    )
+    p.add_argument("specs", nargs="?", default=None,
+                   help="JSONL spec file (same schema as compile-batch); "
+                        "omit to check the shipped pipeline contracts")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="on-disk cache directory holding the artifacts "
+                        "(required with a spec file)")
+    p.add_argument("--allow-missing", action="store_true",
+                   help="exit 0 even when some specs have no stored artifact")
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser(
         "serve",

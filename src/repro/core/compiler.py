@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
 from ..pauli import PauliString
+from ..static.invariants import debug_check
 from ..transpile import CouplingMap, Layout
 from .cancellation import CompilationCancelled, check_cancel
 from .ft_backend import ft_compile
@@ -157,6 +158,7 @@ def compile_program(
                 return _maybe_verify(program, result, verify)
 
     check_cancel(cancel, "before scheduling")
+    debug_check("compile: input program", program=program)
 
     if backend == "ft":
         ft_result = ft_compile(

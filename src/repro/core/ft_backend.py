@@ -38,6 +38,7 @@ from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
 from ..pauli import PauliString
 from ..pauli.symplectic import PauliTable, popcount
+from ..static.invariants import debug_check
 from ..transpile import optimize
 from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
@@ -339,9 +340,12 @@ def ft_compile(
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
     check_cancel(cancel, "after scheduling")
+    debug_check("ft: schedule", program=program)
     terms = _flatten_schedule(schedule)
     circuit = ft_synthesize(terms, program.num_qubits, junction_policy=junction_policy)
     check_cancel(cancel, "after synthesis")
+    debug_check("ft: synthesize", tape=circuit.tape)
     if run_peephole:
         circuit = optimize(circuit)
+        debug_check("ft: peephole", tape=circuit.tape)
     return FTResult(circuit, terms)

@@ -24,12 +24,23 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
+from ..static.contracts import PipelineChecker, contract_for, register_callable
+from ..static.invariants import debug_check
 from ..transpile import CouplingMap, optimize
 from .ft_backend import _flatten_schedule, ft_synthesize
 from .sc_backend import SCSynthesizer
 from .scheduling import Schedule, do_schedule, gco_schedule
 
 __all__ = ["PipelineResult", "PassPipeline", "ft_pipeline", "sc_pipeline"]
+
+# Bind the stock pass callables to their declared contracts so custom
+# pipelines assembled from them are checked precisely; unregistered
+# callables fall back to the conservative slot defaults.
+register_callable(gco_schedule, "schedule_gco")
+register_callable(do_schedule, "schedule_do")
+register_callable(optimize, "peephole")
+
+_CHECKER = PipelineChecker()
 
 SchedulePass = Callable[[PauliProgram], Schedule]
 CircuitPass = Callable[[QuantumCircuit], QuantumCircuit]
@@ -53,8 +64,10 @@ class PassPipeline:
         name: str,
         schedule_pass: SchedulePass,
         synthesis_pass: Callable[[Schedule, PauliProgram], Tuple[QuantumCircuit, Dict]],
+        goal: frozenset = frozenset({"synthesized"}),
     ):
         self.name = name
+        self.goal = frozenset(goal)
         self._schedule_pass = schedule_pass
         self._synthesis_pass = synthesis_pass
         self._circuit_passes: List[Tuple[str, CircuitPass]] = []
@@ -68,12 +81,49 @@ class PassPipeline:
     def pass_names(self) -> List[str]:
         return ["schedule", "synthesize"] + [name for name, _ in self._circuit_passes]
 
+    def contracts(self):
+        """The pipeline's pass contracts, in run order.
+
+        Registered callables (and circuit passes whose *name* matches a
+        registered contract) resolve precisely; anything else gets the
+        conservative slot default, which trusts it to do its slot's job
+        and assumes it destroys everything else.
+        """
+        resolved = [
+            contract_for(self._schedule_pass, default="schedule_opaque"),
+            contract_for(self._synthesis_pass, default="synthesize_opaque"),
+        ]
+        for pass_name, circuit_pass in self._circuit_passes:
+            contract = contract_for(circuit_pass, default="circuit_opaque")
+            if contract.name == "circuit_opaque":
+                contract = contract_for(pass_name, default="circuit_opaque")
+            resolved.append(contract)
+        return resolved
+
+    def validate(self) -> None:
+        """Statically reject a miscomposed pass order.
+
+        Raises :class:`repro.static.contracts.PipelineContractError` —
+        naming the pass and the unmet property — before any pass runs,
+        so an invalid custom pipeline never emits a gate.
+        """
+        _CHECKER.check(
+            self.contracts(),
+            initial=frozenset({"ir_valid"}),
+            goal=self.goal,
+            name=self.name,
+        )
+
     def run(self, program: PauliProgram) -> PipelineResult:
+        self.validate()
         schedule = self._schedule_pass(program)
+        debug_check(f"{self.name}: schedule", program=program)
         circuit, metadata = self._synthesis_pass(schedule, program)
+        debug_check(f"{self.name}: synthesize", tape=circuit.tape)
         sizes = {"synthesize": circuit.size}
         for pass_name, circuit_pass in self._circuit_passes:
             circuit = circuit_pass(circuit)
+            debug_check(f"{self.name}: {pass_name}", tape=circuit.tape)
             sizes[pass_name] = circuit.size
         return PipelineResult(circuit, schedule, sizes, metadata)
 
@@ -89,7 +139,11 @@ def ft_pipeline(scheduler: str = "gco", peephole: bool = True) -> PassPipeline:
         circuit = ft_synthesize(terms, program.num_qubits)
         return circuit, {"emitted_terms": terms}
 
-    pipeline = PassPipeline(f"ft-{scheduler}", schedule_pass, synthesis)
+    register_callable(synthesis, "ft_synthesize")
+    pipeline = PassPipeline(
+        f"ft-{scheduler}", schedule_pass, synthesis,
+        goal=frozenset({"synthesized", "terms_recorded"}),
+    )
     if peephole:
         pipeline.add_circuit_pass("peephole", optimize)
     return pipeline
@@ -115,7 +169,11 @@ def sc_pipeline(
             "final_layout": result.final_layout,
         }
 
-    pipeline = PassPipeline(f"sc-{scheduler}", schedule_pass, synthesis)
+    register_callable(synthesis, "sc_synthesize")
+    pipeline = PassPipeline(
+        f"sc-{scheduler}", schedule_pass, synthesis,
+        goal=frozenset({"synthesized", "routed", "coupling_respected"}),
+    )
     if peephole:
         pipeline.add_circuit_pass("peephole", optimize)
     return pipeline

@@ -38,6 +38,7 @@ import networkx as nx
 from ..circuit import Gate, QuantumCircuit
 from ..ir import PauliBlock, PauliProgram
 from ..pauli import PauliString
+from ..static.invariants import debug_check
 from ..transpile import CouplingMap, Layout, dense_initial_layout, optimize, validate_routed
 from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
@@ -478,6 +479,7 @@ def sc_compile(
     if restarts < 1:
         raise ValueError("restarts must be >= 1")
     check_cancel(cancel, "after scheduling")
+    debug_check("sc: schedule", program=program)
 
     best: Optional[SCResult] = None
     for attempt in range(restarts):
@@ -497,4 +499,6 @@ def sc_compile(
         if best is None or result.circuit.cnot_count < best.circuit.cnot_count:
             best = result
     validate_routed(best.circuit, coupling)
+    debug_check("sc: synthesize+peephole", tape=best.circuit.tape,
+                coupling=coupling)
     return best

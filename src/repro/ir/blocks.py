@@ -44,7 +44,9 @@ class WeightedString:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WeightedString):
             return NotImplemented
-        return self.string == other.string and self.weight == other.weight
+        # Structural identity, not numeric closeness.
+        return (self.string == other.string
+                and self.weight == other.weight)  # lint: allow-float-eq
 
     def __hash__(self) -> int:
         return hash((self.string, self.weight))
@@ -337,7 +339,8 @@ class PauliBlock:
             return NotImplemented
         return (
             self._strings == other._strings
-            and self.parameter == other.parameter
+            # Structural identity, not numeric closeness.
+            and self.parameter == other.parameter  # lint: allow-float-eq
         )
 
     def __repr__(self) -> str:

@@ -147,14 +147,32 @@ class CompileCache:
     def get(self, fingerprint: str) -> Optional[str]:
         """Artifact text for ``fingerprint``, or ``None`` on a miss.
 
-        A disk hit is promoted into the memory front.
+        A disk hit is promoted into the memory front.  Split into the
+        two tier probes below so the async gateway can answer memory
+        hits inline and push the filesystem probe onto its executor;
+        ``get_memory() or get_disk()`` counts exactly what one ``get``
+        would (a memory probe alone never records a miss).
         """
+        text = self.get_memory(fingerprint)
+        if text is not None:
+            return text
+        return self.get_disk(fingerprint)
+
+    def get_memory(self, fingerprint: str) -> Optional[str]:
+        """Memory-front probe: no filesystem access, safe on the event
+        loop.  Counts a hit when it answers; never counts a miss — the
+        lookup is not over until :meth:`get_disk` also misses."""
         with self._lock:
             text = self._memory.get(fingerprint)
             if text is not None:
                 self._memory.move_to_end(fingerprint)
                 self.stats.add(memory_hits=1)
                 return text
+        return None
+
+    def get_disk(self, fingerprint: str) -> Optional[str]:
+        """Disk-tier probe (blocking): read, promote into memory, and
+        count the lookup's outcome (``disk_hits`` or ``misses``)."""
         if self.root is not None:
             try:
                 text = self._path(fingerprint).read_text()
@@ -216,7 +234,7 @@ class CompileCache:
     def _remember(self, fingerprint: str, text: str) -> None:
         """Insert into the LRU front, evicting beyond capacity.  Caller
         holds the lock."""
-        self._memory[fingerprint] = text
+        self._memory[fingerprint] = text  # lint: caller-holds-lock
         self._memory.move_to_end(fingerprint)
         evicted = 0
         while len(self._memory) > self.memory_entries:

@@ -152,6 +152,15 @@ class _ColdJob:
                 if not w.cancelled and not w.client.closed]
 
 
+def _withdraw_cancel_flag(path: str) -> None:
+    """Remove a job's cancel-flag file if present (blocking: callers on
+    the event loop run this via the executor)."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
 class _Client:
     """Per-connection state, owned by the event loop."""
 
@@ -212,11 +221,14 @@ class CompileGateway:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        self._cancel_dir = Path(tempfile.mkdtemp(prefix="repro-gw-cancel-"))
+        loop = asyncio.get_running_loop()
+        self._cancel_dir = Path(await loop.run_in_executor(
+            None, lambda: tempfile.mkdtemp(prefix="repro-gw-cancel-")))
         self._pool_lock = asyncio.Lock()
         # Crash recovery: clear droppings a previous incarnation's killed
-        # workers may have left mid-publish.
-        self.cache.sweep_stale_tmp()
+        # workers may have left mid-publish.  The sweep walks the store
+        # directory, so it runs off-loop like every other disk touch here.
+        await loop.run_in_executor(None, self.cache.sweep_stale_tmp)
         if self.config.workers >= 1:
             self._pool = self._new_pool()
         else:
@@ -314,6 +326,14 @@ class CompileGateway:
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True)
             self._thread_pool = None
+        # The teardown disk work (temp-dir removal, orphan sweep, socket
+        # unlink) runs off-loop in one hop: close() may overlap live
+        # traffic on other gateways sharing this loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._cleanup_disk)
+
+    def _cleanup_disk(self) -> None:
+        """Blocking teardown I/O, executed on the executor by close()."""
         if self._cancel_dir is not None:
             shutil.rmtree(self._cancel_dir, ignore_errors=True)
         # Only when this gateway actually served: another daemon may own
@@ -407,7 +427,16 @@ class CompileGateway:
             return
 
         # Warm lane: a cache hit never queues, never touches a worker.
-        text = self.cache.get(fingerprint)
+        # The memory front answers inline (lock-guarded dict probe, no
+        # I/O).  Only a memory miss with no in-flight compile pays an
+        # executor hop for the disk tier: an in-flight fingerprint cannot
+        # be on disk yet (the publish happens before the job leaves
+        # ``_cold``), and skipping the hop keeps follower attachment
+        # suspension-free — see the dedupe path below.
+        text = self.cache.get_memory(fingerprint)
+        if text is None and fingerprint not in self._cold:
+            text = await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.get_disk, fingerprint)
         if text is not None:
             frame = self._result_frame(
                 request.id, request.want, fingerprint, text,
@@ -415,8 +444,10 @@ class CompileGateway:
             )
             if frame is None:
                 # Corrupt stored artifact: heal by dropping the entry and
-                # falling through to a cold compile.
-                self.cache.discard(fingerprint)
+                # falling through to a cold compile.  Discard unlinks the
+                # disk entry, so it goes through the executor too.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.cache.discard, fingerprint)
             else:
                 await self._send(client, frame)
                 self.metrics.incr("warm_hits")
@@ -446,18 +477,19 @@ class CompileGateway:
         job = self._cold.get(fingerprint)
         if job is not None:
             # Follower: the same fingerprint is already queued or running;
-            # attach instead of compiling twice.
-            if job.dispatched and os.path.exists(job.cancel_path):
-                # A cancel raced in before this new interest; withdraw it —
-                # if the worker already honored the flag, the completion
-                # handler re-queues for the new waiters.
-                try:
-                    os.unlink(job.cancel_path)
-                except OSError:
-                    pass
+            # attach instead of compiling twice.  Attach *before* any
+            # suspension so a job completing mid-await still answers this
+            # waiter.
             job.waiters.append(waiter)
             client.waiting[request.id] = waiter
             self.metrics.incr("admitted")
+            if job.dispatched:
+                # A cancel may have raced in before this new interest;
+                # withdraw the flag off-loop — if the worker already
+                # honored it, the completion handler re-queues for the
+                # new waiters.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, _withdraw_cancel_flag, job.cancel_path)
             return
 
         if self._queued >= self.config.queue_limit:
@@ -645,14 +677,10 @@ class CompileGateway:
             self._slot_free.set()
             self._work.set()
 
-        try:
-            os.unlink(job.cancel_path)
-        except OSError:
-            pass
-        if self._cold.get(job.fingerprint) is job:
-            del self._cold[job.fingerprint]
+        await loop.run_in_executor(None, _withdraw_cancel_flag, job.cancel_path)
 
         if outcome is None:
+            self._drop_cold(job)
             await self._finish_job(job, None, 0.0, None, failed=failure
                                    or "dispatch failed")
             return
@@ -675,18 +703,32 @@ class CompileGateway:
                 self._cold[job.fingerprint] = job
                 self._enqueue(survivors[0].client, job)
                 return
+            self._drop_cold(job)
             await self._finish_job(job, None, elapsed, None, cancelled=True)
             return
 
         if pid != os.getpid() and self.cache.root is not None:
             # Shared-store worker: bytes are already on disk and counted
-            # (absorbed above) — just make the key hot here.
+            # (absorbed above) — just make the key hot here (memory-only,
+            # loop-safe).
             self.cache.promote(job.fingerprint, text)
         else:
-            self.cache.put(job.fingerprint, text)
+            # Thread-mode compile or private store: the put publishes to
+            # disk, so it takes the executor hop.
+            await loop.run_in_executor(
+                None, self.cache.put, job.fingerprint, text)
+        # Only now drop the dedupe entry: the artifact is resident, so a
+        # request landing in any suspension above either attached to this
+        # job (answered below) or will hit the cache.
+        self._drop_cold(job)
         self.metrics.worker_completed(pid)
         self._remember_metrics(job.fingerprint, result_metrics)
         await self._finish_job(job, text, elapsed, result_metrics)
+
+    def _drop_cold(self, job: _ColdJob) -> None:
+        """Retire a job's dedupe entry (unless a requeue replaced it)."""
+        if self._cold.get(job.fingerprint) is job:
+            del self._cold[job.fingerprint]
 
     async def _finish_job(self, job: _ColdJob, text: Optional[str],
                           elapsed: float, result_metrics: Optional[Dict],

@@ -20,12 +20,45 @@ from __future__ import annotations
 from typing import Optional
 
 from ..circuit import QuantumCircuit
+from ..static.contracts import PipelineChecker, rules_for_level
+from ..static.invariants import debug_check
 from .coupling import CouplingMap
 from .layout import Layout
 from .peephole import run_rules
 from .routing import route, validate_routed
 
-__all__ = ["transpile"]
+__all__ = ["transpile", "contract_sequence"]
+
+
+def contract_sequence(optimization_level: int, routed: bool) -> list:
+    """The contract-name sequence :func:`transpile` executes for a given
+    level/target, for the pipeline checker."""
+    rules = rules_for_level(optimization_level)
+    if not routed:
+        return rules
+    return [*rules, "route_sabre", *rules, "validate_routed"]
+
+
+def _self_check() -> None:
+    """Validate every sequence this driver can run (levels 0-3, routed or
+    all-to-all) at import time: a rule reordering that breaks composition
+    fails here, before any circuit is touched."""
+    checker = PipelineChecker()
+    for level in range(4):
+        for routed in (False, True):
+            target = "routed" if routed else "alltoall"
+            checker.check(
+                contract_sequence(level, routed),
+                initial=frozenset({"synthesized"}),
+                goal=frozenset(
+                    {"synthesized", "routed", "coupling_respected"}
+                    if routed else {"synthesized"}
+                ),
+                name=f"transpile-{target}-opt{level}",
+            )
+
+
+_self_check()
 
 
 def _optimize_at_level(circuit: QuantumCircuit, level: int) -> QuantumCircuit:
@@ -53,9 +86,13 @@ def transpile(
     only gate-level optimization runs.
     """
     out = _optimize_at_level(circuit, optimization_level)
+    debug_check("transpile: pre-routing optimize", tape=out.tape)
     if coupling is not None:
         result = route(out, coupling, initial_layout=initial_layout)
         out = result.circuit
+        debug_check("transpile: route", tape=out.tape, coupling=coupling)
         out = _optimize_at_level(out, optimization_level)
         validate_routed(out, coupling)
+        debug_check("transpile: post-routing optimize", tape=out.tape,
+                    coupling=coupling)
     return out

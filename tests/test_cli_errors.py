@@ -85,6 +85,79 @@ class TestVerifyErrors:
         assert main(["verify", specs, "--cache", cache_dir]) == 0
 
 
+class TestCheckErrors:
+    """Exit-code pins for the static-analysis subcommand: 0 = every
+    checked invariant holds, 1 = a named invariant is broken, 2 = the
+    invocation itself was bad."""
+
+    def test_pipeline_contract_mode_exits_0(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "well-composed" in out
+        assert "sc-do-opt3" in out
+
+    def test_clean_artifact_exits_0_and_reports_ok(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        cache_dir = str(tmp_path / "cache")
+        assert main(["compile-batch", specs, "--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["check", specs, "--cache", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "FAIL" not in out
+
+    def test_corrupt_artifact_exits_1_naming_the_invariant(
+            self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        cache = CompileCache(tmp_path / "cache")
+        fingerprint = compile_fingerprint(
+            parse_program(GOOD_SPEC["text"]), canonical_options("ft", "gco"))
+        cache.put(fingerprint, '{"version": 1, "kind": "garbage"')
+        assert main(["check", specs, "--cache", str(tmp_path / "cache")]) == 1
+        out = capsys.readouterr().out
+        assert "artifact.decode" in out
+        assert "FAIL" in out
+
+    def test_broken_invariant_in_stored_artifact_is_named(
+            self, tmp_path, capsys):
+        # A well-formed artifact whose tape violates a structural
+        # invariant the decoder does not police: round-trip a real
+        # compile, then collapse one CNOT onto identical operands.
+        from repro.core import compile_program
+        from repro.service import dumps_artifact
+
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        result = compile_program(parse_program(GOOD_SPEC["text"]))
+        tape = result.circuit.tape
+        slot = next(s for s in range(len(tape.op)) if tape.q1[s] >= 0)
+        tape.q1[slot] = tape.q0[slot]
+        cache = CompileCache(tmp_path / "cache")
+        fingerprint = compile_fingerprint(
+            parse_program(GOOD_SPEC["text"]), canonical_options("ft", "gco"))
+        cache.put(fingerprint, dumps_artifact(result))
+        assert main(["check", specs, "--cache", str(tmp_path / "cache")]) == 1
+        out = capsys.readouterr().out
+        assert "tape.operand-arity" in out
+
+    def test_missing_artifact_exits_1_without_allow_missing(
+            self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        empty = str(tmp_path / "cache")
+        assert main(["check", specs, "--cache", empty]) == 1
+        assert "missing" in capsys.readouterr().err
+        assert main(["check", specs, "--cache", empty,
+                     "--allow-missing"]) == 0
+
+    def test_specs_without_cache_exits_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "specs.jsonl", [GOOD_SPEC])
+        assert main(["check", specs]) == 2
+        assert "--cache" in capsys.readouterr().err
+
+    def test_unresolvable_spec_exits_2(self, tmp_path, capsys):
+        specs = write_specs(tmp_path / "bad.jsonl", [{"label": "keyless"}])
+        assert main(["check", specs, "--cache", str(tmp_path / "c")]) == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+
 class TestCompileErrors:
     def test_unknown_benchmark_exits_2(self, capsys):
         assert main(["compile", "No-Such-Benchmark"]) == 2

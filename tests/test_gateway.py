@@ -238,6 +238,122 @@ class TestDedupeAndFairness:
         run(scenario())
 
 
+class TestAsyncSafety:
+    """Regression tests for the event-loop discipline fixes flagged by
+    ``tools/lint_repro.py`` (RS101): every disk touch in the gateway's
+    async paths rides the executor, and the dedupe lane stays
+    suspension-free between the in-flight probe and follower attach."""
+
+    def test_disk_io_runs_off_the_event_loop(self, tmp_path):
+        import threading
+
+        async def scenario():
+            loop_thread = threading.get_ident()
+            threads = {}
+
+            def spy(cache, name):
+                original = getattr(cache, name)
+
+                def wrapped(*args, _original=original, _name=name, **kwargs):
+                    threads.setdefault(_name, set()).add(threading.get_ident())
+                    return _original(*args, **kwargs)
+
+                setattr(cache, name, wrapped)
+
+            # First gateway: a cold compile exercises the publish path
+            # (cache.put) and start/close exercise the tmp sweeps.
+            gateway = CompileGateway(GatewayConfig(
+                cache_root=str(tmp_path / "cache"), workers=0, port=0))
+            for name in ("put", "get_disk", "sweep_stale_tmp"):
+                spy(gateway.cache, name)
+            await gateway.start()
+            client = await GatewayClient.connect(port=gateway.port)
+            cold = await client.compile(SPEC_A, "r1")
+            assert cold["ok"] and not cold["cached"]
+            await client.close()
+            await gateway.close()
+
+            # Second gateway on the same store: memory tier is empty, so
+            # the warm answer must come from the disk tier (get_disk).
+            gateway = CompileGateway(GatewayConfig(
+                cache_root=str(tmp_path / "cache"), workers=0, port=0))
+            for name in ("put", "get_disk", "sweep_stale_tmp"):
+                spy(gateway.cache, name)
+            await gateway.start()
+            client = await GatewayClient.connect(port=gateway.port)
+            warm = await client.compile(SPEC_A, "r2")
+            assert warm["ok"] and warm["cached"]
+            await client.close()
+            await gateway.close()
+
+            for name in ("put", "get_disk", "sweep_stale_tmp"):
+                assert threads.get(name), f"{name} was never exercised"
+                assert loop_thread not in threads[name], (
+                    f"cache.{name} ran on the event-loop thread")
+
+        run(scenario())
+
+    def test_followers_skip_the_disk_probe(self, tmp_path):
+        """In-flight dedupe must not pay (or block on) a disk probe: an
+        in-flight fingerprint cannot be on disk yet, and awaiting the
+        probe would let followers observe the compile finishing and be
+        answered warm — breaking admission atomicity (admitted == 6)."""
+        async def scenario():
+            gateway = await make_gateway(tmp_path)
+            probes = []
+            original = gateway.cache.get_disk
+
+            def counting(fingerprint):
+                probes.append(fingerprint)
+                return original(fingerprint)
+
+            gateway.cache.get_disk = counting
+            client = await GatewayClient.connect(port=gateway.port)
+            responses, _ = await client.run_specs([SPEC_B] * 6, window=6)
+            assert all(r and r["ok"] for r in responses)
+            stats = await client.stats()
+            assert stats["requests"]["admitted"] == 6
+            assert stats["cache"]["puts"] == 1
+            # Only the leader may probe the disk tier; the five followers
+            # attach to the in-flight job without suspending.
+            assert len(probes) <= 1
+            await client.close()
+            await gateway.close()
+
+        run(scenario())
+
+    def test_cancel_flag_withdrawal_offloaded(self, tmp_path):
+        """The cancel-flag unlink in the dispatch/finish paths is disk
+        I/O too; it must ride the executor, not run inline on the loop."""
+        import threading
+
+        from repro.service import gateway as gateway_module
+
+        async def scenario():
+            loop_thread = threading.get_ident()
+            seen = set()
+            original = gateway_module._withdraw_cancel_flag
+
+            def recording(path):
+                seen.add(threading.get_ident())
+                return original(path)
+
+            gateway_module._withdraw_cancel_flag = recording
+            try:
+                gateway = await make_gateway(tmp_path)
+                client = await GatewayClient.connect(port=gateway.port)
+                response = await client.compile(SPEC_A, "r1")
+                assert response["ok"]
+                await client.close()
+                await gateway.close()
+            finally:
+                gateway_module._withdraw_cancel_flag = original
+            assert seen, "cancel-flag withdrawal was never exercised"
+            assert loop_thread not in seen
+
+        run(scenario())
+
+
 class TestAdmissionControl:
     def test_per_client_limit_rejects_with_overloaded(self, tmp_path):
         async def scenario():

@@ -249,6 +249,56 @@ class TestCompileCache:
         # Idempotent: nothing new to copy the second time.
         assert main.merge_from(tmp_path / "worker") == 0
 
+    def test_tiered_get_split_preserves_stats(self, tmp_path):
+        """``get_memory``/``get_disk`` (the gateway's loop-safe split)
+        must together count exactly what the composite ``get`` counts:
+        a memory probe never records a miss, the disk probe records the
+        hit-or-miss, and a disk hit promotes into the memory tier."""
+        fp = "ee" + "3" * 62
+        cache = CompileCache(tmp_path)
+        cache.put(fp, "payload")
+
+        # Memory front answers inline and counts the hit.
+        assert cache.get_memory(fp) == "payload"
+        assert cache.stats.memory_hits == 1 and cache.stats.misses == 0
+
+        # A memory miss is silent: no miss is charged until the disk
+        # tier has spoken, so probe-then-dedupe never inflates misses.
+        assert cache.get_memory("ff" + "4" * 62) is None
+        assert cache.stats.misses == 0
+
+        # Fresh front, same store: memory probe silent, disk probe hits
+        # and promotes, so the next memory probe answers directly.
+        second = CompileCache(tmp_path)
+        assert second.get_memory(fp) is None
+        assert second.stats.misses == 0
+        assert second.get_disk(fp) == "payload"
+        assert second.stats.disk_hits == 1 and second.stats.misses == 0
+        assert second.get_memory(fp) == "payload"
+        assert second.stats.memory_hits == 1
+
+        # A full miss is charged by the disk tier exactly once, and the
+        # composite get equals the split run in sequence.
+        assert second.get_disk("ff" + "4" * 62) is None
+        assert second.stats.misses == 1
+        third = CompileCache(tmp_path)
+        assert third.get(fp) == "payload"
+        assert third.stats.disk_hits == 1
+        assert third.get(fp) == "payload"
+        assert third.stats.memory_hits == 1
+        assert third.get("ff" + "4" * 62) is None
+        assert third.stats.misses == 1
+        totals = third.stats.as_dict()
+        assert totals["hits"] == totals["memory_hits"] + totals["disk_hits"]
+
+    def test_memory_only_mode_disk_probe_counts_the_miss(self):
+        cache = CompileCache()
+        cache.put("aa" + "0" * 62, "x")
+        assert cache.get_memory("bb" + "1" * 62) is None
+        assert cache.stats.misses == 0
+        assert cache.get_disk("bb" + "1" * 62) is None
+        assert cache.stats.misses == 1
+
     def test_sc_results_cache_with_layouts(self, tmp_path):
         program = parse_program("{(ZIIZ, 1.0), 0.5};\n{(XXII, -0.5), 0.3};")
         coupling = linear(4)

@@ -1,0 +1,244 @@
+"""Tests for the pass-contract static checker (repro.static.contracts).
+
+Covers the contract algebra, the forward property-flow checker and its
+diagnostics, the shipped-pipeline inventory (every FT/SC flow at every
+optimization level must compose), and the integration points: PassPipeline
+rejects a miscomposed sequence *before any gate is emitted*, and the
+generic transpile sequences validate for all levels on both backends.
+"""
+
+import pytest
+
+from repro.core.passes import PassPipeline, ft_pipeline, sc_pipeline
+from repro.ir import PauliBlock, PauliProgram
+from repro.static import (
+    ALL,
+    CONTRACTS,
+    PassContract,
+    PipelineChecker,
+    PipelineContractError,
+    VOCABULARY,
+    contract_for,
+    preserves_all_except,
+    rules_for_level,
+    shipped_pipelines,
+)
+from repro.static.contracts import register_callable
+from repro.transpile import CouplingMap
+from repro.transpile.pipeline import contract_sequence
+
+
+def small_program():
+    return PauliProgram([PauliBlock(["ZZI", "XXI"], 0.5),
+                         PauliBlock(["IYY"], 0.25)])
+
+
+class TestContractAlgebra:
+    def test_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PassContract("bad", requires=frozenset({"totally_new_prop"}))
+        with pytest.raises(ValueError, match="unknown"):
+            preserves_all_except("not_a_property")
+
+    def test_transfer_function(self):
+        contract = PassContract(
+            "t",
+            establishes=frozenset({"no_dead_gates"}),
+            preserves=preserves_all_except("canonical_angles"),
+        )
+        flowing = frozenset({"synthesized", "routed", "canonical_angles"})
+        out = contract.apply(flowing)
+        assert "no_dead_gates" in out
+        assert "canonical_angles" not in out
+        assert {"synthesized", "routed"} <= out
+
+    def test_all_preserves_everything(self):
+        assert ALL == VOCABULARY
+
+    def test_builtin_contracts_mention_only_vocabulary(self):
+        for contract in CONTRACTS.values():
+            assert contract.requires <= VOCABULARY
+            assert contract.establishes <= VOCABULARY
+            assert contract.preserves <= VOCABULARY
+
+
+class TestPipelineChecker:
+    def test_valid_sequence_returns_final_properties(self):
+        final = PipelineChecker().check(
+            ["schedule_gco", "ft_synthesize", "peephole"],
+            initial={"ir_valid"},
+        )
+        assert {"synthesized", "no_dead_gates", "canonical_angles"} <= final
+
+    def test_reorder2q_after_routing_rejected_statically(self):
+        # The miscomposition this layer exists to catch: a rule that
+        # re-synthesizes two-qubit gates across wire pairs, run after
+        # routing, silently un-routes the circuit.  The checker names the
+        # pass that needed the property AND the pass that dropped it.
+        with pytest.raises(PipelineContractError) as info:
+            PipelineChecker().check(
+                ["schedule_do", "sc_synthesize", "peephole_reorder2q",
+                 "validate_routed"],
+                initial={"ir_valid"},
+                name="bad",
+            )
+        exc = info.value
+        assert exc.pipeline == "bad"
+        assert exc.pass_name == "validate_routed"
+        assert exc.position == 3
+        assert exc.unmet in {"routed", "coupling_respected"}
+        assert exc.dropped_by == "peephole_reorder2q"
+        message = str(exc)
+        assert "validate_routed" in message
+        assert "peephole_reorder2q" in message
+        assert exc.unmet in message
+
+    def test_never_established_property_names_the_gap(self):
+        with pytest.raises(PipelineContractError) as info:
+            PipelineChecker().check(
+                ["ft_synthesize"], initial={"ir_valid"}, name="no-sched")
+        exc = info.value
+        assert exc.unmet == "scheduled"
+        assert exc.dropped_by is None
+        assert "no earlier pass establishes" in str(exc)
+        assert "insert a pass" in str(exc)
+
+    def test_unmet_goal_rejected(self):
+        with pytest.raises(PipelineContractError) as info:
+            PipelineChecker().check(
+                ["schedule_gco", "ft_synthesize"],
+                initial={"ir_valid"},
+                goal={"routed"},
+                name="wants-routing",
+            )
+        assert info.value.pass_name is None
+        assert info.value.unmet == "routed"
+
+    def test_unknown_initial_property_rejected(self):
+        with pytest.raises(ValueError, match="initial"):
+            PipelineChecker().check(["peephole"], initial={"nonsense"})
+
+    def test_resolves_names_objects_and_callables(self):
+        def my_pass(circuit):
+            return circuit
+
+        register_callable(my_pass, "peephole_cancel")
+        checker = PipelineChecker()
+        resolved = checker.resolve(
+            ["route_sabre", CONTRACTS["peephole"], my_pass, lambda c: c])
+        assert [c.name for c in resolved] == [
+            "route_sabre", "peephole", "peephole_cancel", "circuit_opaque"]
+
+    def test_register_callable_rejects_unknown_contract(self):
+        with pytest.raises(ValueError, match="unknown contract"):
+            register_callable(lambda c: c, "no_such_contract")
+
+    def test_contract_for_falls_back_to_slot_default(self):
+        assert contract_for(lambda c: c).name == "circuit_opaque"
+        assert contract_for(lambda c: c, default="schedule_opaque").name \
+            == "schedule_opaque"
+        assert contract_for("peephole_merge").name == "peephole_merge"
+
+
+class TestShippedPipelines:
+    def test_inventory_covers_both_backends_all_levels(self):
+        names = {p.name for p in shipped_pipelines()}
+        for level in range(4):
+            assert f"ft-gco-opt{level}" in names
+            assert f"ft-do-opt{level}" in names
+            assert f"sc-gco-opt{level}" in names
+            assert f"sc-do-opt{level}" in names
+            assert f"generic-opt{level}" in names
+
+    def test_every_shipped_pipeline_composes(self):
+        checker = PipelineChecker()
+        for pipeline in shipped_pipelines():
+            final = checker.check(
+                pipeline.passes, initial=pipeline.initial,
+                goal=pipeline.goal, name=pipeline.name,
+            )
+            assert pipeline.goal <= final
+
+    def test_rules_for_level_mirror_transpile(self):
+        assert rules_for_level(0) == []
+        assert rules_for_level(1) == ["peephole_cancel", "peephole_merge"]
+        assert "peephole_commute" in rules_for_level(2)
+        assert "peephole_fuse" in rules_for_level(3)
+        for level in range(4):
+            assert contract_sequence(level, routed=False) == \
+                rules_for_level(level)
+            routed = contract_sequence(level, routed=True)
+            assert "route_sabre" in routed
+            assert routed[-1] == "validate_routed"
+
+
+class TestPassPipelineIntegration:
+    def test_ft_and_sc_factory_pipelines_validate(self):
+        ft_pipeline().validate()
+        ft_pipeline(scheduler="do", peephole=False).validate()
+        coupling = CouplingMap([(i, i + 1) for i in range(4)])
+        sc_pipeline(coupling).validate()
+        sc_pipeline(coupling, scheduler="gco").validate()
+
+    def test_miscomposed_pipeline_rejected_before_any_gate(self):
+        # Plug the deliberately-unshipped cross-wire rule after SC
+        # synthesis: run() must raise from the static check without ever
+        # invoking the schedule pass, i.e. before a single gate exists.
+        calls = []
+        coupling = CouplingMap([(i, i + 1) for i in range(4)])
+        pipeline = sc_pipeline(coupling)
+
+        original_schedule = pipeline._schedule_pass
+
+        def spying_schedule(program):
+            calls.append("schedule")
+            return original_schedule(program)
+
+        pipeline._schedule_pass = spying_schedule
+        pipeline.add_circuit_pass("peephole_reorder2q", lambda c: c)
+        with pytest.raises(PipelineContractError) as info:
+            pipeline.run(small_program())
+        assert calls == []
+        assert info.value.dropped_by == "peephole_reorder2q"
+        assert info.value.unmet in {"routed", "coupling_respected"}
+
+    def test_undeclared_circuit_pass_breaks_sc_goal(self):
+        # An opaque (unregistered) circuit pass is assumed to destroy
+        # routing, so appending one to the SC pipeline is a static error
+        # even though the callable is in fact harmless.
+        coupling = CouplingMap([(i, i + 1) for i in range(4)])
+        pipeline = sc_pipeline(coupling)
+        pipeline.add_circuit_pass("mystery", lambda c: c)
+        with pytest.raises(PipelineContractError) as info:
+            pipeline.validate()
+        assert info.value.dropped_by == "circuit_opaque"
+
+    def test_custom_opaque_passes_still_compose_for_ft(self):
+        # The slot defaults keep undeclared schedule/synthesis callables
+        # usable: trusted to do their slot's job, nothing more.
+        pipeline = PassPipeline(
+            name="custom",
+            schedule_pass=lambda program: [[b] for b in program],
+            synthesis_pass=ft_pipeline()._synthesis_pass,
+            goal=frozenset({"synthesized"}),
+        )
+        pipeline.validate()
+        result = pipeline.run(small_program())
+        assert result.circuit.cnot_count > 0
+
+    def test_import_time_self_check_guards_contract_table(self):
+        # A broken contract table must fail _self_check the same way a
+        # bad pipeline does — simulate the regression with a private
+        # checker whose peephole table entry drops routing.
+        broken = dict(CONTRACTS)
+        broken["peephole_cancel"] = PassContract(
+            "peephole_cancel",
+            requires=frozenset({"synthesized"}),
+            preserves=preserves_all_except("routed", "coupling_respected"),
+        )
+        checker = PipelineChecker(broken)
+        pipeline = next(p for p in shipped_pipelines()
+                        if p.name == "sc-do-opt1")
+        with pytest.raises(PipelineContractError):
+            checker.check(pipeline.passes, initial=pipeline.initial,
+                          goal=pipeline.goal, name=pipeline.name)
