@@ -9,6 +9,8 @@ so EXPERIMENTS.md can reference stable artifacts.
 """
 
 import os
+import resource
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -27,7 +29,29 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def write_result(results_dir: Path, name: str, text: str) -> None:
+def peak_rss_mb() -> float:
+    """Process high-water RSS in MB (``ru_maxrss`` is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def memory_footer() -> str:
+    """One-line memory report appended to every benchmark artifact.
+
+    Always includes the process peak RSS; when the caller is running under
+    :mod:`tracemalloc` (the scale benches trace their scheduling phase) the
+    traced Python/numpy allocation peak is reported too — that number is
+    host-independent and is what the bench_scale memory gate compares.
+    """
+    line = f"peak RSS: {peak_rss_mb():.0f} MB"
+    if tracemalloc.is_tracing():
+        _, peak = tracemalloc.get_traced_memory()
+        line += f"; tracemalloc peak: {peak / 2**20:.1f} MB"
+    return line
+
+
+def write_result(results_dir: Path, name: str, text: str, memory: bool = True) -> None:
     path = results_dir / name
+    if memory:
+        text = f"{text}\n[{memory_footer()}]"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")

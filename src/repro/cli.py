@@ -581,7 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compile", help="compile one benchmark with Paulihedral")
     p.add_argument("name")
     p.add_argument("--scale", default="small", choices=["small", "paper"])
-    p.add_argument("--scheduler", default=None, choices=["gco", "do", "none"])
+    p.add_argument(
+        "--scheduler",
+        default=None,
+        choices=["gco", "do", "none", "gco-stream", "do-stream"],
+    )
     p.add_argument(
         "--opt-level", type=int, default=None, choices=[0, 1, 2, 3],
         help="run the generic pipeline at this level after the frontend "

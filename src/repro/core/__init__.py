@@ -24,12 +24,19 @@ from .trotter import (
     trotterize,
 )
 from .scheduling import (
+    LayerProfile,
     Schedule,
     do_schedule,
     gco_schedule,
     layer_operator_overlap,
     schedule_depth_estimate,
     schedule_to_program,
+)
+from .streaming import (
+    DEFAULT_WINDOW,
+    stream_schedule,
+    streaming_do_schedule,
+    streaming_gco_schedule,
 )
 from .synthesis import (
     SynthesisPlan,
@@ -59,6 +66,8 @@ __all__ = [
     "controlled_pauli_rotation_gates",
     "controlled_program_circuit",
     "controlled_rz_gates",
+    "DEFAULT_WINDOW",
+    "LayerProfile",
     "do_schedule",
     "ft_compile",
     "ft_pipeline",
@@ -73,6 +82,9 @@ __all__ = [
     "sc_pipeline",
     "schedule_depth_estimate",
     "schedule_to_program",
+    "stream_schedule",
+    "streaming_do_schedule",
+    "streaming_gco_schedule",
     "symmetric_trotterize",
     "trotter_error_bound",
     "trotter_steps_for",

@@ -42,6 +42,7 @@ from ..static.invariants import debug_check
 from ..transpile import optimize
 from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
+from .streaming import is_streaming_scheduler, stream_schedule
 from .synthesis import SynthesisPlan, aligned_chain_plan, pauli_rotation_gates
 
 __all__ = [
@@ -102,9 +103,17 @@ def most_overlap_sort(strings: List[Tuple[PauliString, float]]) -> List[Tuple[Pa
     return [strings[i] for i in order]
 
 
-def _flatten_schedule(schedule: Schedule) -> List[Tuple[PauliString, float]]:
+def _flatten_schedule(
+    schedule: Schedule, release: bool = False
+) -> List[Tuple[PauliString, float]]:
     """Flatten a schedule into an ordered term list with per-block
-    most-overlap string ordering."""
+    most-overlap string ordering.
+
+    Accepts any layer iterable, including the incremental iterators from
+    :mod:`repro.core.streaming`; with ``release=True`` each block's
+    memoized view is dropped as soon as its terms are extracted, so a
+    streamed million-term schedule never accumulates realized views.
+    """
     terms: List[Tuple[PauliString, float]] = []
     for layer in schedule:
         for block in layer:
@@ -114,6 +123,8 @@ def _flatten_schedule(schedule: Schedule) -> List[Tuple[PauliString, float]]:
                 if not ws.string.is_identity
             ]
             terms.extend(most_overlap_sort(block_terms))
+            if release:
+                block.release_view()
     return terms
 
 
@@ -327,11 +338,18 @@ def ft_compile(
     """Full FT flow: schedule, adaptively synthesize, peephole-optimize.
 
     ``scheduler`` is ``"gco"`` (gate-count-oriented, the FT default),
-    ``"do"`` (depth-oriented) or ``"none"`` (program order, for ablations).
-    ``junction_policy`` is forwarded to :func:`ft_synthesize`; ``cancel``
-    is polled between passes (see :mod:`repro.core.cancellation`).
+    ``"do"`` (depth-oriented), ``"none"`` (program order, for ablations),
+    or a streaming variant ``"gco-stream"`` / ``"do-stream"`` that
+    schedules through :mod:`repro.core.streaming` in O(window) profile
+    memory and releases each block's view after its terms are flattened
+    — the path for 10^5-10^6-term programs.  ``junction_policy`` is
+    forwarded to :func:`ft_synthesize`; ``cancel`` is polled between
+    passes (see :mod:`repro.core.cancellation`).
     """
-    if scheduler == "gco":
+    streaming = is_streaming_scheduler(scheduler)
+    if streaming:
+        schedule = stream_schedule(program, scheduler)
+    elif scheduler == "gco":
         schedule = gco_schedule(program)
     elif scheduler == "do":
         schedule = do_schedule(program)
@@ -341,7 +359,7 @@ def ft_compile(
         raise ValueError(f"unknown scheduler {scheduler!r}")
     check_cancel(cancel, "after scheduling")
     debug_check("ft: schedule", program=program)
-    terms = _flatten_schedule(schedule)
+    terms = _flatten_schedule(schedule, release=streaming)
     circuit = ft_synthesize(terms, program.num_qubits, junction_policy=junction_policy)
     check_cancel(cancel, "after synthesis")
     debug_check("ft: synthesize", tape=circuit.tape)

@@ -30,6 +30,7 @@ from ..transpile import CouplingMap, optimize
 from .ft_backend import _flatten_schedule, ft_synthesize
 from .sc_backend import SCSynthesizer
 from .scheduling import Schedule, do_schedule, gco_schedule
+from .streaming import is_streaming_scheduler, stream_schedule
 
 __all__ = ["PipelineResult", "PassPipeline", "ft_pipeline", "sc_pipeline"]
 
@@ -128,9 +129,27 @@ class PassPipeline:
         return PipelineResult(circuit, schedule, sizes, metadata)
 
 
+def _resolve_schedule_pass(scheduler: str):
+    """Map a scheduler name to its pass callable; streaming variants are
+    wrapped to materialize the layer structure (pipelines hand the
+    schedule to consumers that may walk it more than once) while keeping
+    the O(window) profile memory of the streaming scan itself."""
+    table = {"gco": gco_schedule, "do": do_schedule}
+    if scheduler in table:
+        return table[scheduler]
+    if is_streaming_scheduler(scheduler):
+        def schedule_pass(program: PauliProgram) -> Schedule:
+            return [list(layer) for layer in stream_schedule(program, scheduler)]
+
+        return register_callable(
+            schedule_pass, f"schedule_{scheduler.replace('-', '_')}"
+        )
+    return None
+
+
 def ft_pipeline(scheduler: str = "gco", peephole: bool = True) -> PassPipeline:
     """The stock fault-tolerant flow as a pipeline object."""
-    schedule_pass = {"gco": gco_schedule, "do": do_schedule}.get(scheduler)
+    schedule_pass = _resolve_schedule_pass(scheduler)
     if schedule_pass is None:
         raise ValueError(f"unknown scheduler {scheduler!r}")
 
@@ -156,7 +175,7 @@ def sc_pipeline(
     peephole: bool = True,
 ) -> PassPipeline:
     """The stock superconducting flow as a pipeline object."""
-    schedule_pass = {"gco": gco_schedule, "do": do_schedule}.get(scheduler)
+    schedule_pass = _resolve_schedule_pass(scheduler)
     if schedule_pass is None:
         raise ValueError(f"unknown scheduler {scheduler!r}")
 

@@ -42,6 +42,7 @@ from ..static.invariants import debug_check
 from ..transpile import CouplingMap, Layout, dense_initial_layout, optimize, validate_routed
 from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
+from .streaming import is_streaming_scheduler, stream_schedule
 
 __all__ = ["SCResult", "EmbeddedTree", "sc_compile", "SCSynthesizer"]
 
@@ -121,10 +122,12 @@ class SCSynthesizer:
         coupling: CouplingMap,
         edge_error: Optional[Dict[Tuple[int, int], float]] = None,
         rng: Optional["random.Random"] = None,
+        release_views: bool = False,
     ):
         self.coupling = coupling
         self._edge_error = edge_error or {}
         self._rng = rng
+        self._release_views = release_views
 
     # -- public ---------------------------------------------------------
     def run(self, schedule: Schedule, num_logical: int) -> SCResult:
@@ -141,14 +144,21 @@ class SCSynthesizer:
             primary_region = frozenset(
                 self.layout.physical(q) for q in primary.active_qubits
             )
+            if self._release_views:
+                primary.release_view()
             for small in layer[1:]:
-                if not self._try_parallel_block(small, primary_region):
+                if self._try_parallel_block(small, primary_region):
+                    if self._release_views:
+                        small.release_view()
+                else:
                     remain.append(small)
 
         while remain:
             block = min(remain, key=self._cumulative_distance)
             remain.remove(block)
             self._process_block(block, _NO_FORBIDDEN)
+            if self._release_views:
+                block.release_view()
 
         return SCResult(
             self.circuit,
@@ -182,9 +192,19 @@ class SCSynthesizer:
         region = dense_initial_layout(self.coupling, num_logical).physical_qubits()
         free = set(region)
         weight_of = {q: 0.0 for q in range(num_logical)}
+        # Logical-qubit adjacency lists: the placement loops below query
+        # "which placed qubits does q couple with" per candidate, and
+        # scanning the full interaction dict each time is
+        # O(n^2 * |interactions|) — fatal at hundreds of qubits.  The
+        # adjacency form makes each query O(degree).
+        adjacency: Dict[int, List[Tuple[int, float]]] = {
+            q: [] for q in range(num_logical)
+        }
         for (a, b), w in interactions.items():
             weight_of[a] += w
             weight_of[b] += w
+            adjacency[a].append((b, w))
+            adjacency[b].append((a, w))
 
         placed: Dict[int, int] = {}
         order = sorted(range(num_logical), key=lambda q: -weight_of[q])
@@ -200,23 +220,20 @@ class SCSynthesizer:
         while unplaced:
             # Next logical: the one most coupled to already-placed qubits.
             def coupling_to_placed(q: int) -> float:
-                return sum(
-                    w
-                    for (a, b), w in interactions.items()
-                    if (a == q and b in placed) or (b == q and a in placed)
-                )
+                return sum(w for other, w in adjacency[q] if other in placed)
 
             logical = max(unplaced, key=lambda q: (coupling_to_placed(q), weight_of[q]))
             unplaced.remove(logical)
+            placed_neighbors = [
+                (placed[other], w)
+                for other, w in adjacency[logical]
+                if other in placed
+            ]
 
             def placement_cost(p: int) -> float:
                 return sum(
-                    w * self.coupling.distance(p, placed[other])
-                    for (a, b), w in interactions.items()
-                    for other in (
-                        (b,) if a == logical and b in placed else
-                        (a,) if b == logical and a in placed else ()
-                    )
+                    w * self.coupling.distance(p, position)
+                    for position, w in placed_neighbors
                 )
 
             ranked = sorted(free, key=placement_cost)
@@ -461,14 +478,25 @@ def sc_compile(
 ) -> SCResult:
     """Full SC flow: schedule, tree-embedded synthesis, peephole cleanup.
 
-    ``restarts > 1`` re-runs the pass with jittered initial placements and
+    ``scheduler`` accepts ``"do"`` (default), ``"gco"``, ``"none"``, and
+    the streaming variants ``"do-stream"`` / ``"gco-stream"`` that
+    schedule through :mod:`repro.core.streaming` and release block views
+    after synthesis (the large-scale path).  ``restarts > 1`` re-runs the pass with jittered initial placements and
     keeps the lowest-CNOT result (deterministic given ``seed``; the first
     attempt is always the un-jittered layout).  The returned circuit acts on
     physical qubits and respects the coupling map (validated on return).
     ``cancel`` is polled after scheduling and between restart attempts
     (see :mod:`repro.core.cancellation`).
     """
-    if scheduler == "do":
+    streaming = is_streaming_scheduler(scheduler)
+    if streaming:
+        # The SC pass walks the schedule twice (interaction-aware layout,
+        # then synthesis) and restarts re-run it, so the streamed layer
+        # *structure* is materialized — but block views are not: the
+        # streaming scheduler never realizes them for singleton blocks,
+        # and release_views drops each one after synthesis.
+        schedule = [list(layer) for layer in stream_schedule(program, scheduler)]
+    elif scheduler == "do":
         schedule = do_schedule(program)
     elif scheduler == "gco":
         schedule = gco_schedule(program)
@@ -486,7 +514,9 @@ def sc_compile(
         if attempt > 0:
             check_cancel(cancel, f"before restart attempt {attempt}")
         rng = random.Random(seed + attempt) if attempt > 0 else None
-        synthesizer = SCSynthesizer(coupling, edge_error, rng=rng)
+        synthesizer = SCSynthesizer(
+            coupling, edge_error, rng=rng, release_views=streaming
+        )
         result = synthesizer.run(schedule, program.num_qubits)
         if run_peephole:
             result = SCResult(

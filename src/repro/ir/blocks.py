@@ -231,6 +231,21 @@ class PauliBlock:
             self._view = BlockView(self)
         return self._view
 
+    def release_view(self) -> None:
+        """Drop the memoized view (and the sorted twin's) to reclaim memory.
+
+        The view is rebuilt on the next access, so releasing is always
+        safe; it is the streaming scheduler's release-after-schedule hook
+        (``core/streaming.py``) that keeps million-term compilations from
+        accumulating one realized view per block.  The ``_sorted`` link
+        itself is kept — re-sorting is pure bookkeeping — but its view is
+        released too, since the sorted twin is what a schedule emits.
+        """
+        self._view = None
+        twin = self._sorted
+        if twin is not None and twin is not self:
+            twin._view = None
+
     @property
     def active_qubits(self) -> Tuple[int, ...]:
         """Qubits with a non-identity operator in at least one string."""
@@ -275,6 +290,12 @@ class PauliBlock:
         The result is cached (blocks are immutable), so schedulers that
         re-sort the same program reuse one block object and its view."""
         if self._sorted is None:
+            if len(self._strings) == 1:
+                # Singleton blocks (the plain-Hamiltonian form, and the
+                # whole of the million-term scale regime) are trivially
+                # sorted; skip the symplectic view build entirely.
+                self._sorted = self
+                return self
             order = self.view.lex_order
             if all(int(order[i]) == i for i in range(len(order))):
                 self._sorted = self

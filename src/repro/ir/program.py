@@ -45,12 +45,16 @@ class PauliProgram:
     @classmethod
     def from_hamiltonian(
         cls,
-        terms: Sequence,
+        terms: Iterable,
         parameter: float = 1.0,
         name: str = "",
     ) -> "PauliProgram":
         """Build a one-string-per-block program from ``(label|PauliString,
-        weight)`` pairs — the plain Trotter-simulation form (Figure 6a)."""
+        weight)`` pairs — the plain Trotter-simulation form (Figure 6a).
+
+        ``terms`` may be any iterable, including a generator from the
+        scale workload emitters (:mod:`repro.workloads`): terms are
+        consumed in one pass and never re-read."""
         blocks = [
             PauliBlock([entry], parameter=parameter) for entry in terms
         ]
@@ -81,6 +85,16 @@ class PauliProgram:
         for block in self._blocks:
             for ws in block:
                 yield ws, block.parameter
+
+    def release_views(self) -> None:
+        """Drop every block's memoized symplectic view (rebuilt lazily).
+
+        The streaming compile path (:mod:`repro.core.streaming`) releases
+        views block by block as layers are consumed; this is the coarse
+        whole-program variant for callers that keep a large program alive
+        after compiling it."""
+        for block in self._blocks:
+            block.release_view()
 
     # ------------------------------------------------------------------
     # Semantics (Figure 7)

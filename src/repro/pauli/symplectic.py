@@ -33,6 +33,7 @@ from .strings import PauliString
 __all__ = [
     "PauliTable",
     "popcount",
+    "packed_as_words",
     "batch_overlap",
     "batch_commutes",
     "batch_lex_keys",
@@ -40,7 +41,13 @@ __all__ = [
 ]
 
 #: Per-byte set-bit counts; ``_POPCOUNT[a]`` vectorizes over any uint8 array.
+#: Kept as the fallback for numpy < 2.0, which lacks ``np.bitwise_count``.
 _POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+#: numpy >= 2.0 popcounts natively (one machine instruction per word)
+#: instead of gathering through the 256-entry lookup table — ~5x on the
+#: packed-row kernels, ~10x when the rows are viewed as uint64 words.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 #: ``LEX_RANK`` as a vectorized lookup table over Pauli codes.
 _LEX_LUT = np.array([ops.LEX_RANK[c] for c in range(4)], dtype=np.uint8)
@@ -51,8 +58,28 @@ _CHUNK_ROWS = 2048
 
 
 def popcount(packed: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Total set bits of a packed ``uint8`` array along ``axis``."""
+    """Total set bits of a packed unsigned-integer array along ``axis``."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(packed).sum(axis=axis, dtype=np.int64)
     return _POPCOUNT[packed].sum(axis=axis, dtype=np.int64)
+
+
+def packed_as_words(packed: np.ndarray) -> np.ndarray:
+    """Reinterpret packed ``uint8`` rows as ``uint64`` words (8x fewer
+    elements for the same bits), zero-padding the last axis as needed.
+
+    The bit content is preserved (little-endian packing on a little-endian
+    dtype), so bitwise AND/OR/XOR and :func:`popcount` over the word view
+    agree with the byte view.  Returns a fresh array when padding or a
+    contiguity copy is required, otherwise a zero-copy view.
+    """
+    nbytes = packed.shape[-1]
+    pad = (-nbytes) % 8
+    if pad:
+        widened = np.zeros(packed.shape[:-1] + (nbytes + pad,), dtype=np.uint8)
+        widened[..., :nbytes] = packed
+        packed = widened
+    return np.ascontiguousarray(packed).view(np.uint64)
 
 
 class PauliTable:
@@ -139,7 +166,14 @@ class PauliTable:
         of qubits where both rows carry the *same* non-identity operator.
         """
         xi, zi = self.x[index], self.z[index]
-        same = ~(self.x ^ xi) & ~(self.z ^ zi) & (xi | zi)
+        # Two allocations instead of five: the greedy chain in
+        # most_overlap_sort calls this once per step on huge blocks.
+        same = self.x ^ xi
+        np.invert(same, out=same)
+        other = self.z ^ zi
+        np.invert(other, out=other)
+        same &= other
+        same &= xi | zi
         return popcount(same)
 
     def overlap_matrix(self) -> np.ndarray:
@@ -218,7 +252,7 @@ class PauliTable:
     def lex_ranks(self) -> np.ndarray:
         """``(m, n)`` rank matrix matching ``PauliString.lex_key`` per row:
         X < Y < Z < I, columns running from the highest qubit down."""
-        return _LEX_LUT[self.codes[:, ::-1]]
+        return lex_rank_matrix(self.codes)
 
     def lex_argsort(self) -> np.ndarray:
         """Stable argsort of the rows by the paper's lexicographic key."""
@@ -231,6 +265,15 @@ class PauliTable:
 # ----------------------------------------------------------------------
 # Functional batch counterparts of the PauliString methods
 # ----------------------------------------------------------------------
+
+def lex_rank_matrix(codes: np.ndarray) -> np.ndarray:
+    """Rank matrix of raw ``(m, n)`` Pauli-code rows per the paper's
+    lexicographic key (X < Y < Z < I, highest qubit first).  Rows compare
+    as byte strings exactly like ``PauliString.lex_key`` tuples, which is
+    what lets the streaming scheduler sort million-block programs on
+    compact byte keys instead of per-block views."""
+    return _LEX_LUT[codes[:, ::-1]]
+
 
 def _as_table(strings) -> PauliTable:
     if isinstance(strings, PauliTable):

@@ -155,6 +155,20 @@ def _contract_table() -> Dict[str, PassContract]:
         description="Depth-oriented layered scheduling (Section 4.2).",
     ))
     add(PassContract(
+        "schedule_gco_stream",
+        establishes=frozenset({"scheduled", "blocks_commuting_grouped"}),
+        description="Streaming gate-count-oriented scheduling: compact-key "
+                    "sort plus incremental emission, O(window) realized "
+                    "profiles (core/streaming.py).",
+    ))
+    add(PassContract(
+        "schedule_do_stream",
+        establishes=frozenset({"scheduled", "blocks_commuting_grouped"}),
+        description="Streaming depth-oriented scheduling: bounded frontier "
+                    "window over the Algorithm 1 layering, O(window) "
+                    "realized profiles (core/streaming.py).",
+    ))
+    add(PassContract(
         "schedule_none",
         establishes=frozenset({"scheduled"}),
         description="Program order passthrough (ablation baseline); layers "
@@ -453,17 +467,19 @@ def shipped_pipelines() -> List[ShippedPipeline]:
     ir = frozenset({"ir_valid"})
     for level in range(4):
         rules = rules_for_level(level)
-        for scheduler in ("gco", "do", "none"):
+        for scheduler in ("gco", "do", "none", "gco-stream", "do-stream"):
             pipelines.append(ShippedPipeline(
                 f"ft-{scheduler}-opt{level}",
-                (f"schedule_{scheduler}", "ft_synthesize", *rules),
+                (f"schedule_{scheduler.replace('-', '_')}",
+                 "ft_synthesize", *rules),
                 initial=ir,
                 goal=frozenset({"synthesized", "terms_recorded"}),
             ))
-        for scheduler in ("gco", "do"):
+        for scheduler in ("gco", "do", "gco-stream", "do-stream"):
             pipelines.append(ShippedPipeline(
                 f"sc-{scheduler}-opt{level}",
-                (f"schedule_{scheduler}", "sc_synthesize", *rules,
+                (f"schedule_{scheduler.replace('-', '_')}",
+                 "sc_synthesize", *rules,
                  "validate_routed"),
                 initial=ir,
                 goal=frozenset({

@@ -11,7 +11,12 @@ from .qaoa import (
     regular_graph,
     tsp_program,
 )
-from .random_hamiltonian import random_hamiltonian_program, random_string
+from .random_hamiltonian import (
+    iter_klocal_terms,
+    random_hamiltonian_program,
+    random_string,
+    scale_random_program,
+)
 from .registry import (
     BENCHMARKS,
     BenchmarkSpec,
@@ -35,6 +40,8 @@ __all__ = [
     "excitation_terms",
     "heisenberg_program",
     "ising_program",
+    "iter_klocal_terms",
+    "scale_random_program",
     "lattice_edges",
     "maxcut_program",
     "maxcut_value",
@@ -55,6 +62,8 @@ from .hubbard import (
     hubbard_hamiltonian,
     hubbard_trotter_program,
     hubbard_ucc_ansatz,
+    iter_hubbard_terms,
+    scale_hubbard_program,
     two_site_ground_energy,
 )
 
@@ -63,5 +72,7 @@ __all__ += [
     "hubbard_hamiltonian",
     "hubbard_trotter_program",
     "hubbard_ucc_ansatz",
+    "iter_hubbard_terms",
+    "scale_hubbard_program",
     "two_site_ground_energy",
 ]

@@ -19,10 +19,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ir import PauliProgram
 from ..pauli.symplectic import PauliTable
+from .hubbard import scale_hubbard_program
 from .lattices import heisenberg_program, ising_program
 from .molecules import MOLECULE_SPECS, molecule_program
 from .qaoa import maxcut_program, random_graph, regular_graph, tsp_program
-from .random_hamiltonian import random_hamiltonian_program
+from .random_hamiltonian import random_hamiltonian_program, scale_random_program
 from .uccsd import uccsd_program
 
 __all__ = [
@@ -134,6 +135,33 @@ for _n in (30, 40, 50, 60, 70, 80):
         f"Rand-{_n}", "ft", "Random",
         _random(_n),
         _random(min(_n, 30), num_strings=200),
+    )
+
+
+# --- FT backend: large-scale streaming workloads -------------------------
+# Beyond Table 1: the 100-500 qubit / 10^5-10^6-term regime targeted by
+# the streaming scheduler (core/streaming.py).  Generator-backed builders
+# (iter_klocal_terms / iter_hubbard_terms) never materialize a term list;
+# compile these with scheduler="gco-stream" / "do-stream".
+def _scale_rand(n: int, terms: int) -> Callable[[], PauliProgram]:
+    return lambda: scale_random_program(n, terms)
+
+
+def _scale_hubbard(sites: int, steps: int) -> Callable[[], PauliProgram]:
+    return lambda: scale_hubbard_program(sites, steps=steps)
+
+
+for _n, _terms in ((100, 10_000), (200, 100_000), (500, 1_000_000)):
+    _register(
+        f"ScaleRand-{_n}", "ft", "Scale",
+        _scale_rand(_n, _terms),
+        _scale_rand(min(_n, 40), 1_000),
+    )
+for _sites, _steps in ((50, 30), (250, 560)):
+    _register(
+        f"ScaleHubbard-{2 * _sites}", "ft", "Scale",
+        _scale_hubbard(_sites, _steps),
+        _scale_hubbard(6, 4),
     )
 
 

@@ -1,0 +1,132 @@
+"""cProfile attribution for the scheduling/synthesis hot path.
+
+The streaming-scheduler rewrite was driven by exactly this harness: profile
+one stage at a time on a scale workload, read the top ``tottime`` rows, and
+kill the per-candidate Python work they expose (the padding loop's 1.3M
+``column_height`` visits were found here, not guessed).  Kept as a tool so
+the next optimization round starts from measurement too.
+
+Stages (``--stage all`` runs every one):
+
+* ``build``     — generator -> :class:`~repro.ir.PauliProgram`;
+* ``scan``      — the streaming scanner (compact keys + active lengths);
+* ``gco``       — full ``gco-stream`` drain;
+* ``do``        — full ``do-stream`` drain (frontier + padding loop);
+* ``ft``        — end-to-end ``ft_compile`` at opt 1 via ``gco-stream``;
+* ``conjugate`` — the batched Clifford tape conjugation sweep.
+
+Run::
+
+    PYTHONPATH=src python tools/profile_kernels.py --stage do \\
+        --qubits 200 --terms 100000
+    PYTHONPATH=src python tools/profile_kernels.py --stage all --limit 15
+    PYTHONPATH=src python tools/profile_kernels.py --stage ft \\
+        --dump ft.pstats       # then e.g. snakeviz ft.pstats elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.core import ft_compile
+from repro.core.streaming import scan_blocks, stream_schedule
+from repro.ir import PauliProgram
+from repro.workloads import scale_random_program
+
+
+def _drain(layers) -> int:
+    return sum(len(layer) for layer in layers)
+
+
+def _conjugate_stage(program: PauliProgram) -> None:
+    """Whole-table tape conjugation: the verifier's inner sweep."""
+    from repro.circuit.gates import OP
+    from repro.circuit.tape import NO_SLOT
+    from repro.verify.clifford import SignedPauliTable
+
+    signed = SignedPauliTable.from_strings(
+        ws.string for ws, _ in program.all_weighted_strings()
+    )
+    n = program.num_qubits
+    tape = []
+    for _ in range(10):  # a deep entangling sweep, verifier-style
+        for q in range(n):
+            tape.append((OP["h"], q, NO_SLOT))
+            tape.append((OP["cx"], q, (q + 1) % n))
+            tape.append((OP["s"], q, NO_SLOT))
+    signed.apply_tape(tape)
+
+
+def _stages(program: PauliProgram) -> Dict[str, Callable[[], object]]:
+    return {
+        "scan": lambda: scan_blocks(program),
+        "gco": lambda: _drain(stream_schedule(program, "gco-stream")),
+        "do": lambda: _drain(stream_schedule(program, "do-stream")),
+        "ft": lambda: ft_compile(
+            program, scheduler="gco-stream", run_peephole=True
+        ),
+        "conjugate": lambda: _conjugate_stage(program),
+    }
+
+
+def profile_stage(name: str, fn: Callable[[], object], sort: str,
+                  limit: int, dump: str = None) -> None:
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    print(f"\n=== {name}: {elapsed:.2f}s ===")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    if dump:
+        stats.dump_stats(dump)
+        print(f"[pstats dumped to {dump}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=100)
+    parser.add_argument("--terms", type=int, default=20_000)
+    parser.add_argument(
+        "--stage", default="do",
+        choices=["all", "build", "scan", "gco", "do", "ft", "conjugate"],
+    )
+    parser.add_argument(
+        "--sort", default="tottime",
+        help="pstats sort key (tottime, cumulative, ncalls, ...)",
+    )
+    parser.add_argument("--limit", type=int, default=25,
+                        help="rows of the stats table to print")
+    parser.add_argument("--dump", default=None,
+                        help="also dump raw pstats to this file")
+    args = parser.parse_args(argv)
+
+    if args.stage == "build":
+        profile_stage(
+            "build",
+            lambda: scale_random_program(args.qubits, args.terms),
+            args.sort, args.limit, args.dump,
+        )
+        return 0
+
+    program = scale_random_program(args.qubits, args.terms)
+    print(f"workload: {program.num_blocks} blocks on "
+          f"{program.num_qubits} qubits")
+    stages = _stages(program)
+    selected = stages if args.stage == "all" else {args.stage: stages[args.stage]}
+    for name, fn in selected.items():
+        program.release_views()  # profile from a cold program every time
+        profile_stage(name, fn, args.sort, args.limit,
+                      args.dump if len(selected) == 1 else None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
