@@ -1,0 +1,227 @@
+"""Device-layer benchmark: reliability-weighted routing vs distance-only.
+
+For each registry device x workload combo the logical circuit is routed
+twice — once hop-distance-only (the seed-identical path) and once with the
+device's calibrated per-edge error rates (the portfolio router) — and both
+results are scored with ESP against the same noise model.  The gates:
+
+* **correctness** — both routes pass ``validate_routed``;
+* **never-worse** — the noise-aware ESP is >= the distance-only ESP on
+  every combo (the portfolio always contains the distance-only baseline);
+* **improvement** — on the headline combos (melbourne-15 / falcon-27 x
+  UCCSD-8 / REG-12-4) the ratio stays within 2x of the committed baseline
+  (``--baseline``), which records a strict improvement on each;
+* **overhead** — with no noise model supplied, the public ``route()``
+  dispatch costs < 5% over the bare routing kernel.
+
+Everything here is deterministic (seeded calibrations, deterministic
+router), so the ESP numbers are exactly reproducible; the 2x margins only
+absorb cross-platform float differences.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_devices.py            # full
+    PYTHONPATH=src python benchmarks/bench_devices.py --smoke    # CI gate
+
+``--out FILE`` dumps the rows as JSON; ``--baseline FILE`` enables the
+committed-baseline ratio gate (see benchmarks/results/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.core import ft_compile
+from repro.noise.model import esp
+from repro.transpile import get_device, route, validate_routed
+from repro.transpile.layout import dense_initial_layout
+from repro.transpile.routing import _route_with
+from repro.workloads import maxcut_program, regular_graph, uccsd_program
+
+#: The acceptance combos: both headline devices on the UCCSD-8 / QAOA
+#: corpus.  The committed baseline records a strict ESP improvement on
+#: every one of these.
+HEADLINE_DEVICES = ("melbourne-15", "falcon-27")
+#: Full mode adds breadth: more topologies, same never-worse gate.
+EXTRA_DEVICES = ("manhattan-65", "sycamore-30", "grid-4x4")
+
+_OVERHEAD_LIMIT = 0.05
+
+
+def _workloads():
+    return {
+        "UCCSD-8": uccsd_program(8),
+        "REG-12-4": maxcut_program(regular_graph(12, 4, seed=3), name="REG-12-4"),
+    }
+
+
+def bench_esp(device_names) -> List[Dict]:
+    rows = []
+    circuits = {
+        name: ft_compile(program, scheduler="gco").circuit
+        for name, program in _workloads().items()
+    }
+    for dev_name in device_names:
+        dev = get_device(dev_name)
+        for wname, circuit in circuits.items():
+            if circuit.num_qubits > dev.coupling.num_qubits:
+                continue
+            base = route(circuit, dev.coupling)
+            noisy = route(circuit, dev.coupling, edge_error=dev.edge_error())
+            validate_routed(base.circuit, dev.coupling)
+            validate_routed(noisy.circuit, dev.coupling)
+            esp_base = esp(base.circuit, dev.noise_model, strict=True)
+            esp_noisy = esp(noisy.circuit, dev.noise_model, strict=True)
+            rows.append(
+                {"device": dev_name, "workload": wname,
+                 "base_swaps": base.swap_count, "noise_swaps": noisy.swap_count,
+                 "esp_base": esp_base, "esp_noise": esp_noisy,
+                 "ratio": esp_noisy / esp_base if esp_base > 0 else float("inf")}
+            )
+    return rows
+
+
+def bench_overhead(repeats: int) -> Dict:
+    """Dispatch cost of the noise-aware ``route()`` on the no-noise path.
+
+    The public entry point now checks connectivity, probes the (absent)
+    cost matrix, and falls through to the routing kernel; all of that must
+    stay under 5% of one routing run.  Both sides are timed best-of-N on
+    the same pre-built layout-independent inputs.
+    """
+    dev = get_device("melbourne-15")
+    circuit = ft_compile(_workloads()["UCCSD-8"], scheduler="gco").circuit
+    coupling = dev.coupling
+    coupling.distance_matrix()  # exclude the one-time BFS from both sides
+
+    def kernel():
+        layout = dense_initial_layout(coupling, circuit.num_qubits)
+        return _route_with(circuit, coupling, layout, None)
+
+    def public():
+        return route(circuit, coupling)
+
+    # Interleave the two sides so clock drift and cache warmth hit both
+    # equally — timing them in separate blocks biases an 8ms ratio by more
+    # than the 5% being measured.
+    kernel()
+    public()  # warm up both
+    kernel_s = public_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel()
+        kernel_s = min(kernel_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        public()
+        public_s = min(public_s, time.perf_counter() - start)
+    return {
+        "kernel_ms": kernel_s * 1e3,
+        "public_ms": public_s * 1e3,
+        "overhead": public_s / kernel_s - 1.0,
+    }
+
+
+def check_baseline(rows: List[Dict], path: str) -> List[str]:
+    """Gate the headline combos against the committed ESP baseline."""
+    with open(path) as handle:
+        baseline = json.load(handle)["combos"]
+    problems = []
+    by_key = {f"{r['device']}/{r['workload']}": r for r in rows}
+    for key, recorded in baseline.items():
+        row = by_key.get(key)
+        if row is None:
+            problems.append(f"{key}: combo missing from this run")
+            continue
+        if row["ratio"] < recorded["ratio"] / 2.0:
+            problems.append(
+                f"{key}: ESP ratio {row['ratio']:.2f} fell below half the "
+                f"committed baseline {recorded['ratio']:.2f}"
+            )
+        if row["esp_noise"] < recorded["esp_noise"] / 2.0:
+            problems.append(
+                f"{key}: noise-aware ESP {row['esp_noise']:.3e} fell below "
+                f"half the committed baseline {recorded['esp_noise']:.3e}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI mode: headline devices only, fewer overhead repeats",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None, help="write rows to this JSON file")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="gate the headline combos against this committed baseline "
+             "JSON (see benchmarks/results/)",
+    )
+    args = parser.parse_args(argv)
+
+    devices = HEADLINE_DEVICES if args.smoke else HEADLINE_DEVICES + EXTRA_DEVICES
+    rows = bench_esp(devices)
+
+    print("ESP: reliability-weighted route vs distance-only SABRE")
+    print(f"{'device':<14} {'workload':<10} {'base sw':>8} {'noise sw':>9} "
+          f"{'ESP base':>10} {'ESP noise':>10} {'ratio':>7}")
+    for row in rows:
+        print(
+            f"{row['device']:<14} {row['workload']:<10} "
+            f"{row['base_swaps']:>8} {row['noise_swaps']:>9} "
+            f"{row['esp_base']:>10.3e} {row['esp_noise']:>10.3e} "
+            f"{row['ratio']:>6.2f}x"
+        )
+
+    failed = False
+    for row in rows:
+        if row["esp_noise"] < row["esp_base"]:
+            print(
+                f"FAIL: {row['device']}/{row['workload']} noise-aware ESP "
+                f"{row['esp_noise']:.3e} below distance-only "
+                f"{row['esp_base']:.3e}",
+                file=sys.stderr,
+            )
+            failed = True
+
+    overhead = bench_overhead(args.repeats or (10 if args.smoke else 30))
+    print(
+        f"\nno-noise dispatch overhead: kernel {overhead['kernel_ms']:.2f}ms, "
+        f"route() {overhead['public_ms']:.2f}ms "
+        f"({overhead['overhead'] * 100:+.1f}%)"
+    )
+    if overhead["overhead"] > _OVERHEAD_LIMIT:
+        print(
+            f"FAIL: no-noise route() overhead {overhead['overhead'] * 100:.1f}% "
+            f"exceeds the {_OVERHEAD_LIMIT * 100:.0f}% limit",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if args.baseline:
+        for problem in check_baseline(rows, args.baseline):
+            print(f"FAIL: {problem}", file=sys.stderr)
+            failed = True
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(
+                {"mode": "smoke" if args.smoke else "full",
+                 "rows": rows, "overhead": overhead},
+                handle, indent=2,
+            )
+        print(f"wrote results to {args.out}")
+
+    if failed:
+        return 1
+    print("\nnoise-aware routing never lost ESP; dispatch overhead within limit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -60,14 +61,34 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _resolve_device_arg(value: Optional[str]):
+    """``--device`` accepts a registry name or a snapshot JSON path."""
+    if value is None:
+        return None
+    from .transpile import get_device, load_device
+
+    if value.endswith(".json") or os.path.sep in value or os.path.exists(value):
+        return load_device(value)
+    return get_device(value)
+
+
 def _cmd_compile(args) -> int:
     spec = BENCHMARKS.get(args.name)
     if spec is None:
         print(f"unknown benchmark {args.name!r}; try 'list'", file=sys.stderr)
         return 2
+    try:
+        device = _resolve_device_arg(args.device)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"bad --device: {exc}", file=sys.stderr)
+        return 2
     program = spec.build(args.scale)
-    coupling = manhattan_65() if spec.backend == "sc" else None
-    kwargs = {"coupling": coupling} if coupling is not None else {}
+    if device is not None:
+        coupling = device.coupling if spec.backend == "sc" else None
+        kwargs = {"device": device}
+    else:
+        coupling = manhattan_65() if spec.backend == "sc" else None
+        kwargs = {"coupling": coupling} if coupling is not None else {}
 
     verification = None
     if args.opt_level is None and args.frontend == "ph":
@@ -77,6 +98,7 @@ def _cmd_compile(args) -> int:
         )
         header = f"{args.name} ({spec.backend} backend, scheduler={result.scheduler})"
         metrics = result.metrics
+        esp_circuit = result.circuit
         if args.verify:
             from .verify import verify_result
 
@@ -114,6 +136,10 @@ def _cmd_compile(args) -> int:
             circuit,
             coupling=coupling if needs_routing else None,
             optimization_level=level,
+            edge_error=(
+                device.edge_error()
+                if device is not None and needs_routing else None
+            ),
         )
         if coupling is not None:
             validate_routed(circuit, coupling)
@@ -122,6 +148,7 @@ def _cmd_compile(args) -> int:
             f"generic level {level})"
         )
         metrics = circuit_metrics(circuit)
+        esp_circuit = circuit
         if args.verify:
             from .verify import verify_circuit
 
@@ -137,6 +164,14 @@ def _cmd_compile(args) -> int:
         ["CNOT", "Single", "Total", "Depth"],
         [[metrics["cnot"], metrics["single"], metrics["total"], metrics["depth"]]],
     ))
+    if device is not None:
+        from .noise.model import esp
+
+        # Routed SC circuits sit on calibrated hardware (strict); FT
+        # circuits act on virtual all-to-all edges (lenient).
+        value = esp(esp_circuit, device.noise_model,
+                    strict=spec.backend == "sc")
+        print(f"ESP on {device.name}: {value:.4g}")
     if verification is not None:
         print(verification.describe())
         if not verification.ok:
@@ -168,6 +203,16 @@ def _cmd_compile_batch(args) -> int:
     specs = _read_specs(args.specs)
     if specs is None:
         return 2
+    if args.device:
+        try:
+            default_device = _resolve_device_arg(args.device)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"bad --device: {exc}", file=sys.stderr)
+            return 2
+        snapshot = default_device.to_snapshot()
+        for spec in specs:
+            if "device" not in spec and "coupling" not in spec:
+                spec["device"] = snapshot
 
     cache = CompileCache(args.cache) if args.cache else CompileCache()
     try:
@@ -601,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the Pauli-propagation verifier on the compiled circuit "
              "(any qubit count; exits 1 on mismatch)",
     )
+    p.add_argument(
+        "--device", default=None, metavar="NAME_OR_JSON",
+        help="compile against a registry device (e.g. melbourne-15, "
+             "falcon-27, ion-trap-12) or a DeviceSpec snapshot JSON file: "
+             "supplies the coupling map and calibration for "
+             "reliability-weighted routing, and reports ESP",
+    )
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser(
@@ -615,6 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk cache directory (default: in-memory only)")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write one JSONL artifact row per input job")
+    p.add_argument(
+        "--device", default=None, metavar="NAME_OR_JSON",
+        help="default device for specs that name none (registry name or "
+             "snapshot JSON; per-spec 'device'/'coupling' keys win)",
+    )
     p.set_defaults(func=_cmd_compile_batch)
 
     p = sub.add_parser(

@@ -1,7 +1,7 @@
 """Paulihedral core: synthesis, scheduling, and backend optimization passes."""
 
 from .cancellation import CompilationCancelled, check_cancel
-from .compiler import CompilationResult, compile_program
+from .compiler import CompilationResult, compile_program, resolve_target
 from .controlled import (
     controlled_pauli_evolution_circuit,
     controlled_pauli_rotation_gates,
@@ -62,6 +62,7 @@ __all__ = [
     "chain_plan",
     "check_cancel",
     "compile_program",
+    "resolve_target",
     "controlled_pauli_evolution_circuit",
     "controlled_pauli_rotation_gates",
     "controlled_program_circuit",

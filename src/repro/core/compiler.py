@@ -25,16 +25,54 @@ from ..circuit import QuantumCircuit
 from ..ir import PauliProgram
 from ..pauli import PauliString
 from ..static.invariants import debug_check
-from ..transpile import CouplingMap, Layout
+from ..transpile import CouplingMap, DeviceSpec, Layout, get_device
 from .cancellation import CompilationCancelled, check_cancel
 from .ft_backend import ft_compile
 from .sc_backend import sc_compile
 
 if TYPE_CHECKING:  # deferred at runtime: repro.service imports this module
+    from ..noise.model import NoiseModel
     from ..service.cache import CompileCache
     from ..verify import VerificationReport
 
-__all__ = ["CompilationCancelled", "CompilationResult", "compile_program"]
+__all__ = [
+    "CompilationCancelled",
+    "CompilationResult",
+    "compile_program",
+    "resolve_target",
+]
+
+
+def resolve_target(
+    coupling: Optional[CouplingMap] = None,
+    edge_error: Optional[Dict[Tuple[int, int], float]] = None,
+    device: Optional["DeviceSpec | str"] = None,
+    noise_model: Optional["NoiseModel"] = None,
+) -> Tuple[
+    Optional[CouplingMap],
+    Optional[Dict[Tuple[int, int], float]],
+    Optional["NoiseModel"],
+    Optional[str],
+]:
+    """Resolve device/noise shorthand into concrete compile inputs.
+
+    Returns ``(coupling, edge_error, noise_model, device_name)``.  Shared
+    by :func:`compile_program` and the batch layer's fingerprinting so the
+    cache key and the actual compilation can never disagree about what a
+    ``device`` means.
+    """
+    device_name: Optional[str] = None
+    if device is not None:
+        spec = get_device(device) if isinstance(device, str) else device
+        if coupling is not None:
+            raise ValueError("pass either a device or a coupling map, not both")
+        coupling = spec.coupling
+        device_name = spec.name
+        if noise_model is None:
+            noise_model = spec.noise_model
+    if noise_model is not None and edge_error is None:
+        edge_error = noise_model.edge_error_map()
+    return coupling, edge_error, noise_model, device_name
 
 
 @dataclass
@@ -53,6 +91,8 @@ class CompilationResult:
     from_cache: bool = False
     #: Pauli-propagation report; set when compiled with ``verify=True``.
     verification: Optional["VerificationReport"] = None
+    #: Registry name of the target device; set when compiled with one.
+    device: Optional[str] = None
 
     @property
     def metrics(self) -> Dict[str, int]:
@@ -64,6 +104,30 @@ class CompilationResult:
             "depth": self.circuit.depth(),
         }
 
+    def esp(
+        self,
+        noise_model: "NoiseModel",
+        measured_qubits: Optional[List[int]] = None,
+        strict: Optional[bool] = None,
+    ) -> float:
+        """Estimated Success Probability of the compiled circuit.
+
+        ``strict`` defaults per backend: SC circuits are routed, so every
+        operand must be calibrated (strict); FT circuits act on virtual
+        all-to-all edges with no physical calibration, so they score
+        lenient (uncalibrated operands are error-free).  See
+        :func:`repro.noise.model.esp`.
+        """
+        # Deferred import: repro.noise sits above the core compiler.
+        from ..noise.model import esp as _esp
+
+        if strict is None:
+            strict = self.backend == "sc"
+        return _esp(
+            self.circuit, noise_model,
+            measured_qubits=measured_qubits, strict=strict,
+        )
+
 
 def compile_program(
     program: PauliProgram,
@@ -73,6 +137,8 @@ def compile_program(
     edge_error: Optional[Dict[Tuple[int, int], float]] = None,
     run_peephole: bool = True,
     restarts: int = 1,
+    device: Optional["DeviceSpec | str"] = None,
+    noise_model: Optional["NoiseModel"] = None,
     cache: Optional["CompileCache"] = None,
     verify: bool = False,
     cancel: Optional[Callable[[], bool]] = None,
@@ -91,9 +157,20 @@ def compile_program(
         10^5+-term programs, see :mod:`repro.core.streaming`); defaults
         to the backend's preferred pass (``gco`` for FT, ``do`` for SC).
     coupling:
-        Device coupling map; required for the SC backend.
+        Device coupling map; required for the SC backend.  Mutually
+        exclusive with ``device``, which bundles its own.
     edge_error:
-        Optional per-edge error rates guiding SC path selection.
+        Optional per-edge error rates guiding SC path selection; defaults
+        to the noise model's edge map when one is supplied.
+    device:
+        A :class:`~repro.transpile.DeviceSpec` or a registry name
+        (``repro.transpile.get_device``).  Supplies both the coupling map
+        and the noise model, names the compile target for the cache
+        fingerprint, and lands on ``result.device``.
+    noise_model:
+        Calibration for reliability-weighted path selection and ESP
+        reporting; part of the cache identity (quantized rates).
+        Defaults to the device's model when ``device`` is given.
     run_peephole:
         Apply the generic peephole cleanup after synthesis (the paper always
         runs a generic compiler after Paulihedral).
@@ -120,6 +197,11 @@ def compile_program(
         the fingerprint.  A cache hit is returned even when ``cancel``
         already fires (serving it is cheaper than checking).
     """
+    coupling, edge_error, noise_model, device_name = resolve_target(
+        coupling=coupling, edge_error=edge_error,
+        device=device, noise_model=noise_model,
+    )
+
     if backend == "ft":
         resolved_scheduler = scheduler or "gco"
     elif backend == "sc":
@@ -144,6 +226,8 @@ def compile_program(
                 edge_error=edge_error,
                 run_peephole=run_peephole,
                 restarts=restarts,
+                noise_model=noise_model,
+                device=device_name,
             ),
         )
         stored = cache.get(fingerprint)
@@ -172,6 +256,7 @@ def compile_program(
             backend="ft",
             scheduler=resolved_scheduler,
             emitted_terms=ft_result.emitted_terms,
+            device=device_name,
         )
     else:
         sc_result = sc_compile(
@@ -190,6 +275,7 @@ def compile_program(
             emitted_terms=sc_result.emitted_terms,
             initial_layout=sc_result.initial_layout,
             final_layout=sc_result.final_layout,
+            device=device_name,
         )
     result.fingerprint = fingerprint
     if cache is not None:

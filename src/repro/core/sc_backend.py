@@ -30,6 +30,7 @@ recorded so tests can check full unitary equivalence on small devices.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -112,9 +113,10 @@ class SCSynthesizer:
     coupling:
         Device connectivity.
     edge_error:
-        Optional ``{(u, v): error_rate}`` used as the path cost when moving
-        qubits (lowest-error path, Algorithm 3 line 6).  Missing edges
-        default to a uniform cost of 1.
+        Optional ``{(u, v): error_rate}`` turned into a SWAP reliability
+        cost (see :meth:`_edge_cost`) when moving qubits (lowest-error
+        path, Algorithm 3 line 6).  Missing edges default to a uniform
+        cost of 1.
     """
 
     def __init__(
@@ -357,7 +359,23 @@ class SCSynthesizer:
         return self.coupling.graph.subgraph(allowed)
 
     def _edge_cost(self, u: int, v: int) -> float:
-        return self._edge_error.get((u, v), self._edge_error.get((v, u), 1.0))
+        """SWAP reliability cost of one edge for path selection.
+
+        Calibrated edges cost ``3 * -log(1 - e)`` (a SWAP is 3 CNOTs;
+        summing along a path minimizes the product of failure-free
+        probabilities — the same cost model as
+        :func:`repro.transpile.reliability_cost_matrix`).  Rates >= 1 are
+        impassable.  Uncalibrated edges keep the historical uniform cost
+        of 1, which both preserves plain hop-count behaviour with no
+        ``edge_error`` and makes uncalibrated hops far pricier than any
+        realistic calibrated one.
+        """
+        rate = self._edge_error.get((u, v), self._edge_error.get((v, u)))
+        if rate is None:
+            return 1.0
+        if rate >= 1.0:
+            return math.inf
+        return 3.0 * -math.log(1.0 - rate)
 
     # -- string synthesis ----------------------------------------------------
     def _synthesize_block(self, block: PauliBlock, forbidden: FrozenSet[int]) -> None:

@@ -17,13 +17,20 @@ percent, with seeded per-qubit/per-edge spread.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..circuit import QuantumCircuit
 from ..transpile import CouplingMap
 
 __all__ = ["NoiseModel", "esp"]
+
+#: Rates are quantized to this many decimal digits wherever the model
+#: enters a cache identity (see :meth:`NoiseModel.quantized_spec`): raw
+#: calibration floats jitter in their low bits between snapshots, and a
+#: sub-1e-6 rate change cannot move any routing decision worth a recompile.
+_QUANTIZE_DIGITS = 6
 
 
 class NoiseModel:
@@ -40,6 +47,16 @@ class NoiseModel:
             tuple(sorted(edge)): rate for edge, rate in two_qubit_error.items()
         }
         self.readout_error = dict(readout_error)
+        for label, rates in (
+            ("single-qubit", self.single_qubit_error.values()),
+            ("two-qubit", self.two_qubit_error.values()),
+            ("readout", self.readout_error.values()),
+        ):
+            for rate in rates:
+                if not 0.0 <= rate < 1.0:
+                    raise ValueError(
+                        f"{label} error rate {rate!r} outside [0, 1)"
+                    )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -82,14 +99,33 @@ class NoiseModel:
         )
 
     # ------------------------------------------------------------------
-    def gate_error(self, name: str, qubits: Tuple[int, ...]) -> float:
-        """Error rate of one gate application (SWAP counts as 3 CNOTs)."""
+    def gate_error(
+        self, name: str, qubits: Tuple[int, ...], strict: bool = True
+    ) -> float:
+        """Error rate of one gate application (SWAP counts as 3 CNOTs).
+
+        ``strict`` controls what a *missing* calibration entry means, the
+        same way on both arities: strict (default) raises ``ValueError``
+        naming the uncalibrated qubit or edge, lenient returns 0.0.  (The
+        historical behaviour — unknown single-qubit indices silently 0.0
+        while unknown edges raised — under-reported bad 1q indices and
+        crashed FT all-to-all circuits in :func:`esp`.)
+        """
         if len(qubits) == 1:
-            return self.single_qubit_error.get(qubits[0], 0.0)
+            rate = self.single_qubit_error.get(qubits[0])
+            if rate is None:
+                if strict:
+                    raise ValueError(
+                        f"no single-qubit calibration for qubit {qubits[0]}"
+                    )
+                return 0.0
+            return rate
         edge = tuple(sorted(qubits))
         rate = self.two_qubit_error.get(edge)
         if rate is None:
-            raise ValueError(f"no calibration for edge {edge}")
+            if strict:
+                raise ValueError(f"no calibration for edge {edge}")
+            return 0.0
         if name == "swap":
             # SWAP = 3 CNOTs: success = (1 - e)^3.
             return 1.0 - (1.0 - rate) ** 3
@@ -99,16 +135,97 @@ class NoiseModel:
         """For the SC pass's lowest-error path selection."""
         return dict(self.two_qubit_error)
 
+    def swap_cost(self, a: int, b: int) -> float:
+        """Reliability cost of one SWAP on edge ``(a, b)``.
+
+        The additive form of swap success probability: a SWAP is 3 CNOTs,
+        so its cost is ``-log((1 - e)^3) = 3 * -log(1 - e)``.  Summing
+        these along a path is exactly minimizing the product of swap
+        failure-free probabilities — the Section 5.2 "low-error path".
+        Raises ``ValueError`` for an uncalibrated edge.
+        """
+        edge = (a, b) if a < b else (b, a)
+        rate = self.two_qubit_error.get(edge)
+        if rate is None:
+            raise ValueError(f"no calibration for edge {edge}")
+        return 3.0 * -math.log(1.0 - rate)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every two-qubit edge carries the same error rate.
+
+        A uniform model contains no routing signal: every path of equal
+        hop count has equal reliability, so the noise-aware passes fall
+        back to plain hop distance (which also keeps them gate-identical
+        to the distance-only reference, see the router tests).
+        """
+        rates = set(self.two_qubit_error.values())
+        return len(rates) <= 1
+
+    # ------------------------------------------------------------------
+    # Serialization (device registry snapshots + cache identity)
+    # ------------------------------------------------------------------
+    def to_calibration(self) -> Dict:
+        """JSON-able calibration snapshot (exact rates, sorted entries)."""
+        return {
+            "single_qubit_error": [
+                [q, rate] for q, rate in sorted(self.single_qubit_error.items())
+            ],
+            "two_qubit_error": [
+                [a, b, rate]
+                for (a, b), rate in sorted(self.two_qubit_error.items())
+            ],
+            "readout_error": [
+                [q, rate] for q, rate in sorted(self.readout_error.items())
+            ],
+        }
+
+    @classmethod
+    def from_calibration(cls, payload: Dict) -> "NoiseModel":
+        """Rebuild a model from :meth:`to_calibration` output."""
+        return cls(
+            {int(q): float(r) for q, r in payload.get("single_qubit_error", [])},
+            {(int(a), int(b)): float(r)
+             for a, b, r in payload.get("two_qubit_error", [])},
+            {int(q): float(r) for q, r in payload.get("readout_error", [])},
+        )
+
+    def quantized_spec(self) -> List:
+        """Canonical JSON-able identity of this model for fingerprints.
+
+        Rates are rounded to ``1e-6`` so calibration noise below routing
+        relevance cannot thrash the compile cache, while any real
+        recalibration (rates move by >= 1e-6) produces a distinct spec.
+        """
+        q = _QUANTIZE_DIGITS
+        return [
+            [[a, round(r, q)] for a, r in sorted(self.single_qubit_error.items())],
+            [[a, b, round(r, q)]
+             for (a, b), r in sorted(self.two_qubit_error.items())],
+            [[a, round(r, q)] for a, r in sorted(self.readout_error.items())],
+        ]
+
 
 def esp(
     circuit: QuantumCircuit,
     model: NoiseModel,
     measured_qubits: Optional[Iterable[int]] = None,
+    strict: bool = True,
 ) -> float:
-    """Estimated Success Probability of a compiled circuit."""
+    """Estimated Success Probability of a compiled circuit.
+
+    ``strict`` (default) raises ``ValueError`` on the first gate whose
+    qubit or edge has no calibration entry — the right default for routed
+    circuits, where every operand must sit on calibrated hardware.  Pass
+    ``strict=False`` for the documented *lenient* mode: uncalibrated
+    operands are treated as error-free (rate 0.0), which is what an FT
+    all-to-all circuit scored against a device model needs (its virtual
+    long-range edges have no physical calibration).  Readout is lenient in
+    both modes: unmeasured or uncalibrated qubits contribute no factor.
+    """
     prob = 1.0
     for gate in circuit:
-        prob *= 1.0 - model.gate_error(gate.name, gate.qubits)
+        prob *= 1.0 - model.gate_error(gate.name, gate.qubits, strict=strict)
     if measured_qubits is not None:
         for q in measured_qubits:
             prob *= 1.0 - model.readout_error.get(q, 0.0)

@@ -39,15 +39,23 @@ __all__ = [
     "loads_artifact",
 ]
 
-ARTIFACT_VERSION = 1
+#: v2: results record the target ``device`` name (noise-aware compile
+#: path).  Loading rejects result versions other than the current one,
+#: which the cache treats as a miss — v1 entries are recompiled and
+#: overwritten, never served.  Circuit and program encodings are
+#: unchanged since v1, so those kinds still read v1 documents (the
+#: differential-fuzz regression corpus is stored at v1).
+ARTIFACT_VERSION = 2
 
 
-def _check_version(payload: Dict, kind: str) -> None:
+def _check_version(
+    payload: Dict, kind: str, oldest: int = ARTIFACT_VERSION
+) -> None:
     version = payload.get("version")
-    if version != ARTIFACT_VERSION:
+    if not isinstance(version, int) or not oldest <= version <= ARTIFACT_VERSION:
         raise ValueError(
             f"unsupported {kind} artifact version {version!r}; "
-            f"this build reads version {ARTIFACT_VERSION}"
+            f"this build reads versions {oldest}..{ARTIFACT_VERSION}"
         )
 
 
@@ -89,7 +97,7 @@ def circuit_to_dict(circuit: QuantumCircuit) -> Dict:
 
 def circuit_from_dict(payload: Dict) -> QuantumCircuit:
     """Rebuild a circuit by adopting the serialized columns onto a tape."""
-    _check_version(payload, "circuit")
+    _check_version(payload, "circuit", oldest=1)
     if payload.get("kind") != "circuit":
         raise ValueError(f"expected a circuit artifact, got {payload.get('kind')!r}")
     ops = [OP[name] for name in payload["op"].split()]
@@ -161,6 +169,7 @@ def result_to_dict(result: CompilationResult) -> Dict:
         "emitted_terms": _terms_to_dict(result.emitted_terms),
         "initial_layout": _layout_to_list(result.initial_layout),
         "final_layout": _layout_to_list(result.final_layout),
+        "device": result.device,
     }
 
 
@@ -177,6 +186,7 @@ def result_from_dict(payload: Dict) -> CompilationResult:
         emitted_terms=_terms_from_dict(payload["emitted_terms"]),
         initial_layout=_layout_from_list(payload.get("initial_layout")),
         final_layout=_layout_from_list(payload.get("final_layout")),
+        device=payload.get("device"),
     )
 
 
@@ -217,7 +227,7 @@ def program_to_dict(program: PauliProgram) -> Dict:
 
 
 def program_from_dict(payload: Dict) -> PauliProgram:
-    _check_version(payload, "program")
+    _check_version(payload, "program", oldest=1)
     if payload.get("kind") != "pauli_program":
         raise ValueError(f"expected a pauli_program artifact, got {payload.get('kind')!r}")
     blocks = [

@@ -21,6 +21,9 @@ Job spec schema (one JSON object per job)::
       "scheduler": "gco",            # default: backend default
       "coupling": "manhattan_65",    # or {"num_qubits": n, "edges": [[a,b]..]};
                                      #   default manhattan_65 for "sc"
+      "device": "melbourne-15",      # registry name or a DeviceSpec snapshot
+                                     #   dict; supplies coupling + noise model
+                                     #   (mutually exclusive with "coupling")
       "run_peephole": true,
       "restarts": 1,
       "label": "anything"            # echoed into the result row
@@ -58,8 +61,27 @@ class ResolvedJob:
     label: str
 
     def fingerprint(self) -> str:
+        # The same target resolution compile_program performs, so a
+        # "device" spec fingerprints identically up front and in the
+        # worker (deferred import: core is heavy and batch probing is
+        # often cache-only).
+        from ..core.compiler import resolve_target
+
+        kwargs = _option_kwargs(self.options)
+        coupling, edge_error, noise_model, device_name = resolve_target(
+            coupling=kwargs.pop("coupling"),
+            edge_error=kwargs.pop("edge_error"),
+            device=kwargs.pop("device"),
+        )
         return compile_fingerprint(
-            self.program, canonical_options(**_option_kwargs(self.options))
+            self.program,
+            canonical_options(
+                coupling=coupling,
+                edge_error=edge_error,
+                noise_model=noise_model,
+                device=device_name,
+                **kwargs,
+            ),
         )
 
 
@@ -76,6 +98,18 @@ def _resolve_coupling(spec) -> Optional[CouplingMap]:
     raise ValueError(f"unknown coupling spec {spec!r}")
 
 
+def _resolve_device(spec):
+    """A registry name passes through (compile_program resolves it); an
+    inline snapshot dict becomes a concrete DeviceSpec."""
+    if spec is None or isinstance(spec, str):
+        return spec
+    if isinstance(spec, dict):
+        from ..transpile import DeviceSpec  # deferred with the rest
+
+        return DeviceSpec.from_snapshot(spec)
+    raise ValueError(f"unknown device spec {spec!r}")
+
+
 def _option_kwargs(options: Dict) -> Dict:
     """Materialize a JSON-able option set into ``compile_program`` kwargs."""
     edge_error = options.get("edge_error")
@@ -89,6 +123,7 @@ def _option_kwargs(options: Dict) -> Dict:
         ),
         "run_peephole": options.get("run_peephole", True),
         "restarts": options.get("restarts", 1),
+        "device": _resolve_device(options.get("device")),
     }
 
 
@@ -117,7 +152,10 @@ def resolve_spec(spec: Dict) -> ResolvedJob:
         )
     backend = backend or "ft"
     coupling = spec.get("coupling")
-    if coupling is None and backend == "sc":
+    device = spec.get("device")
+    if device is not None and coupling is not None:
+        raise ValueError("job spec takes 'device' or 'coupling', not both")
+    if coupling is None and device is None and backend == "sc":
         coupling = "manhattan_65"
     options = {
         "backend": backend,
@@ -126,6 +164,7 @@ def resolve_spec(spec: Dict) -> ResolvedJob:
         "edge_error": spec.get("edge_error"),
         "run_peephole": spec.get("run_peephole", True),
         "restarts": spec.get("restarts", 1),
+        "device": device,
     }
     return ResolvedJob(program=program, options=options, label=label)
 

@@ -5,9 +5,14 @@ scheduler, opt knobs)``, so a compilation is fully identified by a content
 hash of its inputs.  The program side hashes the canonical symplectic form
 (:meth:`repro.ir.PauliProgram.canonical_form`), which is invariant under
 block/term reordering and coefficient reformatting; the option side hashes
-a canonical JSON encoding of every knob that can change the output,
-including the coupling-map edge set and per-edge error rates for the SC
-backend.
+a canonical JSON encoding of every knob that can change the output: the
+coupling-map edge set, the explicit per-edge error rates (when passed),
+the full noise-model calibration (quantized to 1e-6, see
+:meth:`repro.noise.model.NoiseModel.quantized_spec`) and the device name
+when compiling against a registry device.  Two compiles of the same
+program for same-topology devices with different calibrations therefore
+get distinct fingerprints — a recalibrated device can never be served the
+stale artifact routed for its old error rates.
 
 **Granularity of the key.**  The fingerprint identifies a compilation by
 the *IR semantics* of its input — the multiset of blocks, each a multiset
@@ -36,8 +41,13 @@ import hashlib
 import json
 from typing import Dict, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..ir import PauliProgram
 from ..transpile import CouplingMap
+
+if TYPE_CHECKING:  # annotation-only: the noise package sits above service
+    from ..noise.model import NoiseModel
 
 __all__ = [
     "FINGERPRINT_VERSION",
@@ -48,7 +58,9 @@ __all__ = [
 
 #: Bump when the canonical program encoding or option encoding changes;
 #: mixed into every digest so stale stores can never serve new requests.
-FINGERPRINT_VERSION = 1
+#: v2: noise-model calibration (quantized) + device name joined the option
+#: spec — pre-noise artifacts must not satisfy noise-aware requests.
+FINGERPRINT_VERSION = 2
 
 
 def _coupling_spec(coupling: Optional[CouplingMap]):
@@ -77,12 +89,17 @@ def canonical_options(
     edge_error: Optional[Dict[Tuple[int, int], float]] = None,
     run_peephole: bool = True,
     restarts: int = 1,
+    noise_model: Optional["NoiseModel"] = None,
+    device: Optional[str] = None,
 ) -> bytes:
     """Canonical byte encoding of every output-affecting compile option.
 
     ``scheduler`` must be the *resolved* scheduler (the backend default
     applied), so ``scheduler=None`` and an explicit ``"gco"`` on the FT
-    backend produce the same fingerprint.
+    backend produce the same fingerprint.  ``noise_model`` enters via its
+    quantized calibration spec; ``device`` is the registry name (two
+    registry devices can share a topology but not a name, and a snapshot
+    device's name travels with its calibration).
     """
     spec = {
         "backend": backend,
@@ -91,6 +108,10 @@ def canonical_options(
         "edge_error": _edge_error_spec(edge_error),
         "run_peephole": bool(run_peephole),
         "restarts": int(restarts),
+        "noise_model": (
+            None if noise_model is None else noise_model.quantized_spec()
+        ),
+        "device": device,
         "version": FINGERPRINT_VERSION,
     }
     return json.dumps(spec, sort_keys=True, separators=(",", ":")).encode()

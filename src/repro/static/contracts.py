@@ -200,6 +200,18 @@ def _contract_table() -> Dict[str, PassContract]:
         description="Coupling-constrained tree-embedded SC synthesis "
                     "(Section 5.2); emits only coupled-edge CNOTs.",
     ))
+    add(PassContract(
+        "sc_synthesize_noise",
+        requires=frozenset({"scheduled"}),
+        establishes=frozenset({
+            "synthesized", "terms_recorded", "routed", "coupling_respected",
+        }),
+        preserves=ir_only,
+        description="SC synthesis with calibration-weighted path selection: "
+                    "qubit movement follows lowest swap-failure paths "
+                    "(3 * -log(1-e) edge cost) instead of hop counts; same "
+                    "guarantees as sc_synthesize.",
+    ))
 
     # -- gate-level peephole rules -----------------------------------------
     # The shipped rules are local: they delete or fuse gates in place and
@@ -258,6 +270,16 @@ def _contract_table() -> Dict[str, PassContract]:
         preserves=preserves_all_except("no_dead_gates", "canonical_angles"),
         description="SABRE-style routing; inserted SWAPs create new "
                     "cancellation opportunities.",
+    ))
+    add(PassContract(
+        "route_sabre_noise",
+        requires=frozenset({"synthesized"}),
+        establishes=frozenset({"routed", "coupling_respected"}),
+        preserves=preserves_all_except("no_dead_gates", "canonical_angles"),
+        description="Reliability-weighted SABRE: swaps scored against the "
+                    "all-pairs 3 * -log(1-e) cost matrix with a noise-seeded "
+                    "dense layout; same structural guarantees as route_sabre "
+                    "(falls back to it for uniform/absent calibrations).",
     ))
     add(PassContract(
         "validate_routed",
@@ -486,11 +508,27 @@ def shipped_pipelines() -> List[ShippedPipeline]:
                     "synthesized", "routed", "coupling_respected",
                 }),
             ))
+        # SC flow with calibration-weighted path selection (the
+        # noise-aware variant the device registry drives).
+        pipelines.append(ShippedPipeline(
+            f"sc-noise-do-opt{level}",
+            ("schedule_do", "sc_synthesize_noise", *rules, "validate_routed"),
+            initial=ir,
+            goal=frozenset({
+                "synthesized", "routed", "coupling_respected",
+            }),
+        ))
         # Generic transpile over an already-synthesized circuit
         # (optimize, route, re-optimize, validate).
         pipelines.append(ShippedPipeline(
             f"generic-opt{level}",
             (*rules, "route_sabre", *rules, "validate_routed"),
+            initial=frozenset({"synthesized"}),
+            goal=frozenset({"synthesized", "routed", "coupling_respected"}),
+        ))
+        pipelines.append(ShippedPipeline(
+            f"generic-noise-opt{level}",
+            (*rules, "route_sabre_noise", *rules, "validate_routed"),
             initial=frozenset({"synthesized"}),
             goal=frozenset({"synthesized", "routed", "coupling_respected"}),
         ))

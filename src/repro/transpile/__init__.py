@@ -23,15 +23,23 @@ from .peephole import (
     run_rules,
 )
 from .pipeline import transpile
-from .routing import RoutingResult, route, validate_routed
+from .routing import (
+    RoutingResult,
+    reliability_cost_matrix,
+    route,
+    validate_routed,
+)
+from .devices import DeviceSpec, device_names, get_device, load_device
 
 __all__ = [
     "CouplingMap",
+    "DeviceSpec",
     "Layout",
     "RoutingResult",
     "cancel_adjacent_pairs",
     "commutative_cancel",
     "dense_initial_layout",
+    "device_names",
     "falcon_27",
     "full",
     "ion_trap",
@@ -42,8 +50,11 @@ __all__ = [
     "manhattan_65",
     "melbourne",
     "fuse_swap_cx",
+    "get_device",
+    "load_device",
     "merge_rotations",
     "optimize",
+    "reliability_cost_matrix",
     "ring",
     "route",
     "run_rules",

@@ -47,17 +47,38 @@ class CouplingMap:
         name: str = "",
     ):
         edge_list = [(int(a), int(b)) for a, b in edges]
-        if not edge_list and not num_qubits:
-            raise ValueError("a coupling map needs edges or an explicit qubit count")
+        for a, b in edge_list:
+            if a < 0 or b < 0:
+                raise ValueError(f"edge ({a}, {b}) has a negative qubit index")
+            if a == b:
+                raise ValueError(f"edge ({a}, {b}) is a self-loop")
         inferred = max((max(a, b) for a, b in edge_list), default=-1) + 1
-        self.num_qubits = int(num_qubits) if num_qubits else inferred
-        if inferred > self.num_qubits:
-            raise ValueError("edge endpoints exceed num_qubits")
+        if num_qubits is None:
+            if not edge_list:
+                raise ValueError(
+                    "a coupling map needs edges or an explicit qubit count"
+                )
+            self.num_qubits = inferred
+        else:
+            # ``num_qubits`` may legitimately exceed the inferred count
+            # (isolated trailing qubits), but an explicit 0 is not "use the
+            # default": a device with no qubits is an error, not a fallback.
+            self.num_qubits = int(num_qubits)
+            if self.num_qubits < 1:
+                raise ValueError(
+                    f"num_qubits must be >= 1, got {self.num_qubits}"
+                )
+            if inferred > self.num_qubits:
+                raise ValueError(
+                    f"edge endpoints reach qubit {inferred - 1} but "
+                    f"num_qubits is {self.num_qubits}"
+                )
         self.graph = nx.Graph()
         self.graph.add_nodes_from(range(self.num_qubits))
         self.graph.add_edges_from(edge_list)
         self.name = name
         self._dist: Optional[List[List[int]]] = None
+        self._fully_connected: Optional[bool] = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,9 +94,25 @@ class CouplingMap:
     def degree(self, qubit: int) -> int:
         return self.graph.degree(qubit)
 
+    @property
+    def is_fully_connected(self) -> bool:
+        """True when every pair of qubits has a path between them.
+
+        A trimmed :func:`heavy_hex` can orphan bridge qubits, and an
+        explicit ``num_qubits`` larger than the edge span leaves isolated
+        trailing qubits; both make the graph disconnected.
+        """
+        if self._fully_connected is None:
+            self._fully_connected = (
+                self.num_qubits > 0 and nx.is_connected(self.graph)
+            )
+        return self._fully_connected
+
     def _distance_matrix(self) -> List[List[int]]:
         if self._dist is None:
             n = self.num_qubits
+            # Disconnected pairs keep the 2n sentinel (no hop count exists);
+            # distance() refuses to serve it — see below.
             dist = [[n * 2] * n for _ in range(n)]
             for src, lengths in nx.all_pairs_shortest_path_length(self.graph):
                 row = dist[src]
@@ -85,10 +122,28 @@ class CouplingMap:
         return self._dist
 
     def distance(self, a: int, b: int) -> int:
-        return self._distance_matrix()[a][b]
+        """Shortest hop count between two physical qubits.
+
+        Raises ``ValueError`` for a disconnected pair instead of returning
+        the internal ``2 * num_qubits`` placeholder: routing on a
+        fictitious distance silently produces unroutable circuits.
+        """
+        d = self._distance_matrix()[a][b]
+        if d >= self.num_qubits:  # real shortest paths use < n hops
+            raise ValueError(
+                f"qubits {a} and {b} are disconnected in coupling map "
+                f"{self.name or '<anonymous>'}; check is_fully_connected "
+                f"before routing"
+            )
+        return d
 
     def distance_matrix(self) -> List[List[int]]:
-        """All-pairs hop-count matrix (cached; do not mutate)."""
+        """All-pairs hop-count matrix (cached; do not mutate).
+
+        Disconnected pairs hold a ``2 * num_qubits`` sentinel; callers that
+        cannot tolerate it should check :attr:`is_fully_connected` first
+        (:func:`repro.transpile.route` does).
+        """
         return self._distance_matrix()
 
     def shortest_path(self, a: int, b: int, weight=None) -> List[int]:

@@ -1,0 +1,151 @@
+"""Device registry: named coupling-map + calibration bundles.
+
+A :class:`DeviceSpec` pairs a :class:`~repro.transpile.CouplingMap` with a
+:class:`~repro.noise.model.NoiseModel`, which is what the noise-aware
+compile path actually targets: routing wants the per-edge error rates, the
+cache wants the quantized calibration identity, and reporting wants ESP
+against the same model the router optimized for.
+
+Fixed registry entries (``get_device("melbourne-15")`` etc.) carry
+deterministic calibrations seeded from the device name, so two sessions —
+or two cache clients — asking for the same name agree byte-for-byte on the
+rates.  Parametric families are recognized by pattern: ``ion-trap-<n>``,
+``grid-<r>x<c>``, ``ring-<n>``.  Arbitrary real calibrations enter through
+:func:`DeviceSpec.from_snapshot` / :func:`load_device` (a JSON snapshot as
+produced by :meth:`DeviceSpec.to_snapshot`), which the CLI exposes as
+``--device path/to/snapshot.json``.
+
+The :mod:`~repro.noise.model` import is deferred into the builders so that
+importing :mod:`repro.transpile` stays light (the noise package pulls in
+the compiler core).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import zlib
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from . import coupling as _topologies
+from .coupling import CouplingMap
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..noise.model import NoiseModel
+
+__all__ = ["DeviceSpec", "device_names", "get_device", "load_device"]
+
+
+class DeviceSpec:
+    """A named compile target: topology plus calibration.
+
+    The noise model must calibrate every qubit and every coupled edge of
+    the topology — the router and ``esp()`` run strict against routed
+    circuits, so a hole in the calibration is a constructor error here,
+    not a mid-route crash.
+    """
+
+    def __init__(self, name: str, coupling: CouplingMap, noise_model: "NoiseModel"):
+        for q in range(coupling.num_qubits):
+            if q not in noise_model.single_qubit_error:
+                raise ValueError(
+                    f"device {name!r}: qubit {q} has no single-qubit calibration"
+                )
+        for edge in coupling.edges:
+            if edge not in noise_model.two_qubit_error:
+                raise ValueError(
+                    f"device {name!r}: edge {edge} has no two-qubit calibration"
+                )
+        self.name = name
+        self.coupling = coupling
+        self.noise_model = noise_model
+
+    # ------------------------------------------------------------------
+    def edge_error(self) -> Dict[Tuple[int, int], float]:
+        """Per-edge error map for the routing/synthesis passes."""
+        return self.noise_model.edge_error_map()
+
+    def to_snapshot(self) -> Dict:
+        """JSON-able snapshot: topology + exact calibration rates."""
+        return {
+            "name": self.name,
+            "num_qubits": self.coupling.num_qubits,
+            "edges": [[a, b] for a, b in sorted(self.coupling.edges)],
+            "calibration": self.noise_model.to_calibration(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: Dict) -> "DeviceSpec":
+        """Rebuild a device from :meth:`to_snapshot` output."""
+        from ..noise.model import NoiseModel
+
+        name = str(payload["name"])
+        cmap = CouplingMap(
+            [(int(a), int(b)) for a, b in payload["edges"]],
+            num_qubits=int(payload["num_qubits"]),
+            name=name,
+        )
+        return cls(name, cmap, NoiseModel.from_calibration(payload["calibration"]))
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceSpec({self.name!r}, qubits={self.coupling.num_qubits}, "
+            f"edges={len(self.coupling.edges)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def _seed(name: str) -> int:
+    """Deterministic per-device calibration seed (stable across runs)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFF
+
+
+def _calibrated(name: str, cmap: CouplingMap) -> DeviceSpec:
+    from ..noise.model import NoiseModel
+
+    cmap.name = name
+    return DeviceSpec(name, cmap, NoiseModel.calibrated(cmap, seed=_seed(name)))
+
+
+_FIXED: Dict[str, Callable[[], CouplingMap]] = {
+    "melbourne-15": _topologies.melbourne,
+    "falcon-27": _topologies.falcon_27,
+    "manhattan-65": _topologies.manhattan_65,
+    "sycamore-30": _topologies.sycamore_like,
+}
+
+_FAMILIES: List[Tuple[re.Pattern, Callable[..., CouplingMap]]] = [
+    (re.compile(r"^ion-trap-(\d+)$"), _topologies.ion_trap),
+    (re.compile(r"^grid-(\d+)x(\d+)$"), _topologies.grid),
+    (re.compile(r"^ring-(\d+)$"), _topologies.ring),
+]
+
+
+def device_names() -> Tuple[str, ...]:
+    """The fixed registry names (families are pattern-matched on top:
+    ``ion-trap-<n>``, ``grid-<r>x<c>``, ``ring-<n>``)."""
+    return tuple(sorted(_FIXED))
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Resolve a registry name (or family pattern) to a calibrated device."""
+    builder = _FIXED.get(name)
+    if builder is not None:
+        return _calibrated(name, builder())
+    for pattern, family in _FAMILIES:
+        match = pattern.match(name)
+        if match:
+            return _calibrated(name, family(*(int(g) for g in match.groups())))
+    raise ValueError(
+        f"unknown device {name!r}; registry has {', '.join(device_names())} "
+        f"plus the ion-trap-<n>, grid-<r>x<c>, ring-<n> families"
+    )
+
+
+def load_device(path: str) -> DeviceSpec:
+    """Load a :meth:`DeviceSpec.to_snapshot` JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return DeviceSpec.from_snapshot(json.load(handle))

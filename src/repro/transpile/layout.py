@@ -73,18 +73,46 @@ class Layout:
         return f"Layout({items})"
 
 
-def dense_initial_layout(coupling: CouplingMap, num_logical: int) -> Layout:
+def dense_initial_layout(
+    coupling: CouplingMap,
+    num_logical: int,
+    edge_error: Optional[Dict[Tuple[int, int], float]] = None,
+) -> Layout:
     """Greedy densest-connected-subgraph placement.
 
     Starts from the highest-degree physical qubit and repeatedly adds the
     neighbouring qubit with the most edges into the chosen set, producing a
     connected, locally dense region of ``num_logical`` physical qubits.
+
+    With ``edge_error`` (per-edge two-qubit error rates), density is scored
+    by *reliability-weighted* degree instead of edge count: every edge
+    contributes its success probability ``1 - e``, so the chosen region is
+    both dense and low-error (paper Section 5.2's calibration-aware
+    placement).  Uncalibrated edges pessimistically contribute the worst
+    known rate.  Without ``edge_error`` the decision sequence is the
+    historical one, bit for bit.
     """
     if num_logical > coupling.num_qubits:
         raise ValueError(
             f"program needs {num_logical} qubits but device has {coupling.num_qubits}"
         )
-    start = max(range(coupling.num_qubits), key=coupling.degree)
+
+    if edge_error:
+        worst = max(edge_error.values())
+
+        def reliability(a: int, b: int) -> float:
+            edge = (a, b) if a < b else (b, a)
+            return 1.0 - edge_error.get(edge, worst)
+
+        def incident_weight(q: int) -> float:
+            return sum(reliability(q, nbr) for nbr in coupling.neighbors(q))
+
+        start = max(
+            range(coupling.num_qubits),
+            key=lambda q: (incident_weight(q), coupling.degree(q), -q),
+        )
+    else:
+        start = max(range(coupling.num_qubits), key=coupling.degree)
     chosen = [start]
     chosen_set = {start}
     while len(chosen) < num_logical:
@@ -97,14 +125,25 @@ def dense_initial_layout(coupling: CouplingMap, num_logical: int) -> Layout:
         if not frontier:  # disconnected device; jump to the densest remainder
             remaining = [q for q in range(coupling.num_qubits) if q not in chosen_set]
             frontier = set(remaining[:1])
-        best = max(
-            frontier,
-            key=lambda q: (
-                sum(1 for nbr in coupling.neighbors(q) if nbr in chosen_set),
-                coupling.degree(q),
-                -q,
-            ),
-        )
+        if edge_error:
+            best = max(
+                frontier,
+                key=lambda q: (
+                    sum(reliability(q, nbr)
+                        for nbr in coupling.neighbors(q) if nbr in chosen_set),
+                    incident_weight(q),
+                    -q,
+                ),
+            )
+        else:
+            best = max(
+                frontier,
+                key=lambda q: (
+                    sum(1 for nbr in coupling.neighbors(q) if nbr in chosen_set),
+                    coupling.degree(q),
+                    -q,
+                ),
+            )
         chosen.append(best)
         chosen_set.add(best)
     return Layout({i: p for i, p in enumerate(sorted(chosen))})

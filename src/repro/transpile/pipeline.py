@@ -17,7 +17,7 @@ default at high optimization levels.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..circuit import QuantumCircuit
 from ..static.contracts import PipelineChecker, rules_for_level
@@ -30,32 +30,39 @@ from .routing import route, validate_routed
 __all__ = ["transpile", "contract_sequence"]
 
 
-def contract_sequence(optimization_level: int, routed: bool) -> list:
+def contract_sequence(
+    optimization_level: int, routed: bool, noise_aware: bool = False
+) -> list:
     """The contract-name sequence :func:`transpile` executes for a given
     level/target, for the pipeline checker."""
     rules = rules_for_level(optimization_level)
     if not routed:
         return rules
-    return [*rules, "route_sabre", *rules, "validate_routed"]
+    router = "route_sabre_noise" if noise_aware else "route_sabre"
+    return [*rules, router, *rules, "validate_routed"]
 
 
 def _self_check() -> None:
     """Validate every sequence this driver can run (levels 0-3, routed or
-    all-to-all) at import time: a rule reordering that breaks composition
-    fails here, before any circuit is touched."""
+    all-to-all, distance-only or noise-aware) at import time: a rule
+    reordering that breaks composition fails here, before any circuit is
+    touched."""
     checker = PipelineChecker()
     for level in range(4):
         for routed in (False, True):
-            target = "routed" if routed else "alltoall"
-            checker.check(
-                contract_sequence(level, routed),
-                initial=frozenset({"synthesized"}),
-                goal=frozenset(
-                    {"synthesized", "routed", "coupling_respected"}
-                    if routed else {"synthesized"}
-                ),
-                name=f"transpile-{target}-opt{level}",
-            )
+            for noise_aware in ((False, True) if routed else (False,)):
+                target = "routed" if routed else "alltoall"
+                if noise_aware:
+                    target = "noise-" + target
+                checker.check(
+                    contract_sequence(level, routed, noise_aware),
+                    initial=frozenset({"synthesized"}),
+                    goal=frozenset(
+                        {"synthesized", "routed", "coupling_respected"}
+                        if routed else {"synthesized"}
+                    ),
+                    name=f"transpile-{target}-opt{level}",
+                )
 
 
 _self_check()
@@ -79,16 +86,21 @@ def transpile(
     coupling: Optional[CouplingMap] = None,
     optimization_level: int = 3,
     initial_layout: Optional[Layout] = None,
+    edge_error: Optional[Dict[Tuple[int, int], float]] = None,
 ) -> QuantumCircuit:
     """Generic compile: optimize, route to hardware (optional), re-optimize.
 
     When ``coupling`` is ``None`` the target is the all-to-all FT backend and
-    only gate-level optimization runs.
+    only gate-level optimization runs.  ``edge_error`` (per-edge two-qubit
+    error rates) switches routing to the reliability-weighted scorer; see
+    :func:`repro.transpile.route`.
     """
     out = _optimize_at_level(circuit, optimization_level)
     debug_check("transpile: pre-routing optimize", tape=out.tape)
     if coupling is not None:
-        result = route(out, coupling, initial_layout=initial_layout)
+        result = route(
+            out, coupling, initial_layout=initial_layout, edge_error=edge_error
+        )
         out = result.circuit
         debug_check("transpile: route", tape=out.tape, coupling=coupling)
         out = _optimize_at_level(out, optimization_level)

@@ -21,7 +21,11 @@ tests assert gate-for-gate.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+import math
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
 
 from ..circuit import QuantumCircuit
 from ..circuit.gates import OP
@@ -29,7 +33,12 @@ from ..circuit.tape import NO_SLOT, GateTape
 from .coupling import CouplingMap
 from .layout import Layout, dense_initial_layout
 
-__all__ = ["route", "RoutingResult", "validate_routed"]
+__all__ = [
+    "route",
+    "RoutingResult",
+    "validate_routed",
+    "reliability_cost_matrix",
+]
 
 _EXTENDED_SIZE = 20
 _EXTENDED_WEIGHT = 0.5
@@ -37,6 +46,53 @@ _DECAY_STEP = 0.001
 _DECAY_RESET_INTERVAL = 5
 
 _OP_SWAP = OP["swap"]
+
+
+def reliability_cost_matrix(
+    coupling: CouplingMap,
+    edge_error: Optional[Dict[Tuple[int, int], float]],
+) -> Optional[List[List[float]]]:
+    """All-pairs reliability cost, or ``None`` when there is no signal.
+
+    Each edge is weighted by the cost of one SWAP across it,
+    ``3 * -log(1 - e)`` (a SWAP is 3 CNOTs), so the Dijkstra path sum
+    between two qubits is ``-log`` of the probability that a swap chain
+    along the most reliable path succeeds — minimizing the sum maximizes
+    the product of success probabilities (the qiskit-terra
+    ``NoiseAdaptiveLayout`` swap-reliability idiom, paper Section 5.2).
+
+    Returns ``None`` for an empty/absent ``edge_error`` or a *uniform* one
+    (every edge the same rate): a uniform model cannot prefer one
+    equal-hop path over another, and falling back to the exact integer
+    hop matrix keeps the router gate-identical to the distance-only
+    reference in that case.  Coupled edges missing from ``edge_error``
+    pessimistically get the worst calibrated rate.
+    """
+    if not edge_error:
+        return None
+    rates = {round(r, 12) for r in edge_error.values()}
+    if len(rates) <= 1:
+        return None
+    worst = max(edge_error.values())
+
+    def swap_cost(a: int, b: int) -> float:
+        edge = (a, b) if a < b else (b, a)
+        rate = edge_error.get(edge, worst)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"edge {edge} error rate {rate!r} outside [0, 1)")
+        return 3.0 * -math.log(1.0 - rate)
+
+    n = coupling.num_qubits
+    inf = float("inf")
+    cost = [[inf] * n for _ in range(n)]
+    lengths = nx.all_pairs_dijkstra_path_length(
+        coupling.graph, weight=lambda u, v, _attrs: swap_cost(u, v)
+    )
+    for src, dists in lengths:
+        row = cost[src]
+        for dst, d in dists.items():
+            row[dst] = d
+    return cost
 
 
 class RoutingResult:
@@ -55,18 +111,129 @@ class RoutingResult:
         self.swap_count = swap_count
 
 
+#: Weight of the (normalized) reliability term in the hybrid swap-scoring
+#: matrix: hop distance stays the primary objective, reliability breaks
+#: near-ties toward low-error corridors.  Larger blends let the router
+#: chase cheap edges instead of making progress, which bloats swap counts
+#: and loses more fidelity than the better edges recover.
+_RELIABILITY_BLEND = 0.05
+
+
+def _hybrid_cost_matrix(
+    coupling: CouplingMap, rel: List[List[float]]
+) -> List[List[float]]:
+    """Hop distance plus a small normalized reliability term.
+
+    The reliability matrix is rescaled so one mean-cost hop contributes
+    ``_RELIABILITY_BLEND``: a full hop of extra distance always outweighs
+    any realistic reliability spread, so the router keeps SABRE's progress
+    behaviour and only *prefers* the reliable path among comparable ones.
+    """
+    hop = coupling.distance_matrix()
+    edge_costs = [rel[a][b] for a, b in coupling.edges]
+    mean = sum(edge_costs) / len(edge_costs)
+    scale = _RELIABILITY_BLEND / mean
+    n = coupling.num_qubits
+    return [
+        [hop[a][b] + scale * rel[a][b] for b in range(n)]
+        for a in range(n)
+    ]
+
+
+def _two_qubit_cost(
+    circuit: QuantumCircuit,
+    edge_error: Dict[Tuple[int, int], float],
+) -> float:
+    """``-log`` of the routed circuit's two-qubit success product.
+
+    The portfolio selection metric: computable from ``edge_error`` alone
+    (no full noise model needed inside the router), dominated by exactly
+    the terms routing controls — which coupled edges carry the CNOTs and
+    how many SWAPs were spent.
+    """
+    worst = max(edge_error.values())
+    total = 0.0
+    tape = circuit.tape
+    for slot in tape.iter_slots():
+        q1 = tape.q1[slot]
+        if q1 == NO_SLOT:
+            continue
+        q0 = tape.q0[slot]
+        edge = (q0, q1) if q0 < q1 else (q1, q0)
+        rate = edge_error.get(edge, worst)
+        if rate >= 1.0:
+            return float("inf")
+        cost = -math.log(1.0 - rate)
+        total += 3.0 * cost if tape.op[slot] == _OP_SWAP else cost
+    return total
+
+
 def route(
     circuit: QuantumCircuit,
     coupling: CouplingMap,
     initial_layout: Optional[Layout] = None,
+    edge_error: Optional[Dict[Tuple[int, int], float]] = None,
 ) -> RoutingResult:
     """Insert SWAPs so every two-qubit gate touches a coupled pair.
 
     The returned circuit acts on *physical* qubits (``coupling.num_qubits``
     wide).
+
+    With ``edge_error`` (per-edge two-qubit error rates), the router runs
+    a small deterministic portfolio — plain and reliability-seeded dense
+    layouts, each scored by plain hop distance and by the hybrid
+    hop+reliability matrix — and keeps the variant whose routed circuit
+    has the lowest two-qubit failure cost.  The distance-only baseline is
+    always in the portfolio, so the noise-aware result is never less
+    reliable than it.  When ``edge_error`` is absent (or uniform, i.e.
+    carries no signal) the decision sequence is bit-identical to the
+    historical distance-only router, which the reference tests assert
+    gate-for-gate.
     """
-    if initial_layout is None:
-        initial_layout = dense_initial_layout(coupling, circuit.num_qubits)
+    if not coupling.is_fully_connected:
+        raise ValueError(
+            f"coupling map {coupling.name or '<anonymous>'} is disconnected; "
+            f"routing cannot bridge isolated components"
+        )
+    rel = reliability_cost_matrix(coupling, edge_error)
+    if rel is None:
+        if initial_layout is None:
+            initial_layout = dense_initial_layout(coupling, circuit.num_qubits)
+        return _route_with(circuit, coupling, initial_layout, None)
+
+    hybrid = _hybrid_cost_matrix(coupling, rel)
+    if initial_layout is not None:
+        layouts = [initial_layout]
+    else:
+        plain = dense_initial_layout(coupling, circuit.num_qubits)
+        seeded = dense_initial_layout(
+            coupling, circuit.num_qubits, edge_error=edge_error
+        )
+        layouts = [plain] if seeded == plain else [plain, seeded]
+    best: Optional[RoutingResult] = None
+    best_cost = float("inf")
+    # Baseline (first layout, hop distance) is tried first; strict `<`
+    # keeps it on ties, so the portfolio can only improve on it.
+    for layout in layouts:
+        for dist in (None, hybrid):
+            result = _route_with(circuit, coupling, layout, dist)
+            cost = _two_qubit_cost(result.circuit, edge_error)
+            if cost < best_cost:
+                best = result
+                best_cost = cost
+    assert best is not None
+    return best
+
+
+def _route_with(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Layout,
+    cost: Optional[List[List[float]]],
+) -> RoutingResult:
+    """One SABRE pass with a fixed layout and distance matrix (``cost``
+    ``None`` means the exact integer hop matrix — the seed-identical
+    path)."""
     layout = initial_layout.copy()
     # The routed circuit is accumulated as raw columns and adopted as a
     # tape in one shot at the end (per-gate appends would dominate).
@@ -110,7 +277,7 @@ def route(
     p2l = [-1] * coupling.num_qubits
     for logical, physical in enumerate(l2p):
         p2l[physical] = logical
-    dist = coupling.distance_matrix()
+    dist = cost if cost is not None else coupling.distance_matrix()
     is_connected = coupling.is_connected
     neighbor_list = [coupling.neighbors(p) for p in range(coupling.num_qubits)]
     decay = [1.0] * coupling.num_qubits
@@ -245,9 +412,11 @@ def route(
 
         # Delta scoring: only pairs touching a candidate's two physical
         # qubits change distance, so each candidate adjusts the base sums
-        # instead of re-walking every pair.  All sums stay integers until
-        # the final float expression, which matches the seed's
-        # full-recompute arithmetic bit for bit.
+        # instead of re-walking every pair.  On the hop-distance path all
+        # sums stay integers until the final float expression, which
+        # matches the seed's full-recompute arithmetic bit for bit (with
+        # a reliability cost matrix the sums are floats; there is no seed
+        # oracle for that path, only determinism).
         decision_stamp += 1
         base_front = 0
         base_ext = 0

@@ -1,0 +1,167 @@
+"""Tests for the device registry and coupling-map edge cases.
+
+Covers the Issue 8 satellites: the silent-disconnection bug
+(``CouplingMap.distance()`` used to serve the ``2n`` init sentinel for
+disconnected pairs), the falsy-zero ``num_qubits=0`` bug, and the
+:mod:`repro.transpile.devices` registry the noise-aware compile path
+targets.
+"""
+
+import json
+
+import pytest
+
+from repro.noise.model import NoiseModel
+from repro.transpile import (
+    CouplingMap,
+    DeviceSpec,
+    device_names,
+    get_device,
+    heavy_hex,
+    linear,
+    load_device,
+    melbourne,
+)
+
+
+class TestCouplingValidation:
+    def test_explicit_zero_qubits_rejected(self):
+        # The historical `if num_qubits:` treated an explicit 0 as "infer".
+        with pytest.raises(ValueError, match="num_qubits"):
+            CouplingMap([], num_qubits=0)
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError, match="num_qubits"):
+            CouplingMap([(0, 1)], num_qubits=-3)
+
+    def test_empty_map_needs_explicit_count(self):
+        with pytest.raises(ValueError, match="edges or an explicit"):
+            CouplingMap([])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CouplingMap([(2, 2)], num_qubits=3)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CouplingMap([(-1, 0)], num_qubits=2)
+
+    def test_endpoints_beyond_count_rejected(self):
+        with pytest.raises(ValueError, match="num_qubits is 2"):
+            CouplingMap([(0, 9)], num_qubits=2)
+
+    def test_isolated_trailing_qubits_allowed_but_not_fully_connected(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=3)
+        assert cmap.num_qubits == 3
+        assert not cmap.is_fully_connected
+        assert cmap.distance(0, 1) == 1
+
+
+class TestDisconnection:
+    def test_trimmed_heavy_hex_is_disconnected(self):
+        # trim=1 on a 2x4 lattice removes the only bridge qubit, splitting
+        # the two rows — the regression that motivated the distance() fix.
+        cmap = heavy_hex(rows=2, row_len=4, trim=1)
+        assert not cmap.is_fully_connected
+
+    def test_untrimmed_heavy_hex_is_fully_connected(self):
+        assert heavy_hex(rows=2, row_len=4).is_fully_connected
+
+    def test_distance_raises_on_disconnected_pair(self):
+        cmap = heavy_hex(rows=2, row_len=4, trim=1)
+        # Qubits 0 and 4 sit in different rows with the bridge trimmed away.
+        with pytest.raises(ValueError, match="disconnected"):
+            cmap.distance(0, 4)
+
+    def test_distance_still_served_within_component(self):
+        cmap = heavy_hex(rows=2, row_len=4, trim=1)
+        assert cmap.distance(0, 3) == 3
+        assert cmap.distance(4, 7) == 3
+
+    def test_distance_matrix_keeps_sentinel_for_disconnected(self):
+        # Bulk consumers get the documented 2n placeholder and are expected
+        # to gate on is_fully_connected themselves.
+        cmap = CouplingMap([(0, 1)], num_qubits=3)
+        assert cmap.distance_matrix()[0][2] == 2 * cmap.num_qubits
+
+
+class TestDeviceSpec:
+    def test_validates_missing_qubit_calibration(self):
+        cmap = linear(3)
+        model = NoiseModel(
+            {0: 1e-3, 1: 1e-3},  # qubit 2 missing
+            {(0, 1): 2e-2, (1, 2): 2e-2},
+            {},
+        )
+        with pytest.raises(ValueError, match="qubit 2"):
+            DeviceSpec("holey", cmap, model)
+
+    def test_validates_missing_edge_calibration(self):
+        cmap = linear(3)
+        model = NoiseModel(
+            {0: 1e-3, 1: 1e-3, 2: 1e-3},
+            {(0, 1): 2e-2},  # edge (1, 2) missing
+            {},
+        )
+        with pytest.raises(ValueError, match=r"edge \(1, 2\)"):
+            DeviceSpec("holey", cmap, model)
+
+    def test_snapshot_round_trip_is_exact(self):
+        dev = get_device("melbourne-15")
+        clone = DeviceSpec.from_snapshot(dev.to_snapshot())
+        assert clone.name == dev.name
+        assert clone.coupling.edges == dev.coupling.edges
+        assert clone.coupling.num_qubits == dev.coupling.num_qubits
+        assert clone.noise_model.two_qubit_error == dev.noise_model.two_qubit_error
+        assert clone.noise_model.single_qubit_error == dev.noise_model.single_qubit_error
+        assert clone.noise_model.readout_error == dev.noise_model.readout_error
+
+    def test_load_device_from_json_file(self, tmp_path):
+        dev = get_device("falcon-27")
+        path = tmp_path / "falcon.json"
+        path.write_text(json.dumps(dev.to_snapshot()))
+        loaded = load_device(str(path))
+        assert loaded.name == "falcon-27"
+        assert loaded.edge_error() == dev.edge_error()
+
+
+class TestRegistry:
+    def test_fixed_names(self):
+        names = device_names()
+        assert set(names) >= {
+            "melbourne-15", "falcon-27", "manhattan-65", "sycamore-30",
+        }
+
+    def test_fixed_entries_resolve(self):
+        for name in device_names():
+            dev = get_device(name)
+            assert dev.name == name
+            assert dev.coupling.is_fully_connected
+
+    def test_melbourne_matches_topology_zoo(self):
+        dev = get_device("melbourne-15")
+        assert dev.coupling.edges == melbourne().edges
+
+    def test_family_patterns(self):
+        assert get_device("ion-trap-5").coupling.num_qubits == 5
+        assert get_device("grid-2x3").coupling.num_qubits == 6
+        assert get_device("ring-6").coupling.num_qubits == 6
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="melbourne-15"):
+            get_device("no-such-device")
+
+    def test_calibration_is_deterministic_per_name(self):
+        a = get_device("melbourne-15")
+        b = get_device("melbourne-15")
+        assert a.noise_model.two_qubit_error == b.noise_model.two_qubit_error
+
+    def test_different_devices_get_different_calibrations(self):
+        # Same topology class, different names -> different seeded rates.
+        a = get_device("ring-6").noise_model.two_qubit_error
+        b = get_device("grid-2x3").noise_model.two_qubit_error
+        assert set(a.values()) != set(b.values())
+
+    def test_calibration_has_spread(self):
+        rates = list(get_device("melbourne-15").noise_model.two_qubit_error.values())
+        assert max(rates) > min(rates)

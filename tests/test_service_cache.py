@@ -34,13 +34,14 @@ from repro.service import (
     dumps_artifact,
     program_fingerprint,
 )
+from repro.service.artifact import ARTIFACT_VERSION
 from repro.transpile import linear
 
 FIXED_TEXT = "{(XYZI, 0.5), (IZZX, -0.25), 0.3};\n{(YIIX, 1.5), 1.0};"
 #: Pinned digests of FIXED_TEXT: any change to the canonical encoding or
 #: the hash construction must show up here as a deliberate version bump.
 FIXED_PROGRAM_FP = "5ddb36bd2cc3c206fb9f74539f5a3b3ccb1b44f7c757595fc3e7b2dbec3ee995"
-FIXED_COMPILE_FP = "90ac2986f9ad6338f3d103a90e77118f068bbad68712dd7070490f18f8e108cf"
+FIXED_COMPILE_FP = "a7cbccb82b839d5fe339bbf9c3de2f2beb86641338e3a55e745435454e181ab1"
 
 
 def fixed_program():
@@ -325,7 +326,10 @@ class TestCompileCache:
         good = cache.get(cold.fingerprint)
 
         # Future artifact version: must fall back to a recompile...
-        cache.put(cold.fingerprint, good.replace('"version":1', '"version":999'))
+        cache.put(
+            cold.fingerprint,
+            good.replace(f'"version":{ARTIFACT_VERSION}', '"version":999'),
+        )
         redone = compile_program(fixed_program(), backend="ft", cache=cache)
         assert not redone.from_cache
         # ...and heal the entry so the next lookup hits again.
