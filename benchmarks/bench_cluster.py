@@ -1,0 +1,391 @@
+"""Cluster benchmark: sharded-fabric throughput, warm latency, recovery.
+
+Drives a *real* fabric — ``python -m repro.cli serve-cluster`` in a
+subprocess (supervised gateway nodes, process-pool workers, shared-store
+pull-through, unix router socket) — with the same 50-spec mixed corpus
+as ``bench_gateway.py``, across three topologies:
+
+* ``single``   — one plain gateway (``repro.cli serve``), the reference;
+* ``cluster2`` — 2-node fabric behind the router;
+* ``cluster3`` — 3-node fabric behind the router (full mode only).
+
+Gates:
+
+* **warm-hit p50** through the router stays under 20 ms (the router adds
+  one hop to the single gateway's 10 ms budget, never more);
+* **aggregate throughput** — a pipelined window through the router
+  sustains >= 100 req/s on a single core (the router must not eat the
+  fabric's capacity);
+* **kill-one-node recovery** — SIGKILL a random gateway node under warm
+  load: traffic keeps being answered (zero lost requests), and the
+  fleet is back to full healthy strength within 30 s;
+* **drain & shutdown** — ledgers reconcile, SIGTERM exits 0, no partial
+  artifacts in any store.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py           # full
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke   # CI gate
+
+``--out``/``--baseline`` match the other benches: JSON dump plus a
+regression gate (throughput below half the committed baseline, or warm
+p50 above double) on top of the absolute floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_gateway import mixed_corpus  # noqa: E402
+from repro.service import GatewayClient  # noqa: E402
+
+WARM_P50_FLOOR_MS = 20.0
+THROUGHPUT_FLOOR = 100.0
+RECOVERY_FLOOR_S = 30.0
+
+
+class ClusterProcess:
+    """``repro.cli serve-cluster`` in a subprocess under a workdir."""
+
+    def __init__(self, workdir: Path, nodes: int, workers: int = 1):
+        self.state_dir = workdir / f"state-{nodes}"
+        self.socket_path = str(self.state_dir / "router.sock")
+        self.nodes = nodes
+        env = {**os.environ, "PYTHONPATH": str(SRC)}
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve-cluster",
+             str(self.state_dir), "--nodes", str(nodes),
+             "--workers", str(workers), "--queue-limit", "64"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(REPO),
+        )
+        deadline = time.monotonic() + 120
+        line = ""
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if "cluster listening" in line:
+                return
+            if self.process.poll() is not None:
+                break
+        raise RuntimeError(f"cluster failed to start: {line!r}")
+
+    def stop(self) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+            return -9
+        return self.process.returncode
+
+
+class SingleGateway:
+    """``repro.cli serve`` reference point (same shape as ClusterProcess)."""
+
+    def __init__(self, workdir: Path, workers: int = 1):
+        self.state_dir = workdir / "single"
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.socket_path = str(self.state_dir / "gw.sock")
+        self.nodes = 1
+        env = {**os.environ, "PYTHONPATH": str(SRC)}
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", self.socket_path,
+             "--cache", str(self.state_dir / "cache"),
+             "--workers", str(workers)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(REPO),
+        )
+        deadline = time.monotonic() + 60
+        line = ""
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if "listening" in line:
+                return
+            if self.process.poll() is not None:
+                break
+        raise RuntimeError(f"gateway failed to start: {line!r}")
+
+    stop = ClusterProcess.stop
+
+
+async def cold_pass(socket_path: str, corpus: List[Dict]) -> Dict:
+    client = await GatewayClient.connect(socket_path=socket_path)
+    start = time.perf_counter()
+    responses, _ = await client.run_specs(corpus, window=8, id_prefix="cold",
+                                          timeout=900)
+    wall = time.perf_counter() - start
+    failed = [r for r in responses if not (r and r.get("ok"))]
+    await client.close()
+    if failed:
+        raise RuntimeError(f"cold pass failed {len(failed)} jobs: {failed[:2]}")
+    return {"jobs": len(corpus), "wall_s": round(wall, 3),
+            "compiled": sum(1 for r in responses if not r.get("cached"))}
+
+
+async def warm_latency(socket_path: str, corpus: List[Dict],
+                       rounds: int) -> Dict:
+    client = await GatewayClient.connect(socket_path=socket_path)
+    samples: List[float] = []
+    misses = 0
+    for round_index in range(rounds):
+        for index, spec in enumerate(corpus):
+            t0 = time.perf_counter()
+            response = await client.compile(
+                spec, f"w{round_index}-{index}", timeout=120)
+            samples.append(time.perf_counter() - t0)
+            if not response.get("cached"):
+                misses += 1
+    await client.close()
+    samples.sort()
+    return {
+        "samples": len(samples), "uncached": misses,
+        "p50_ms": round(samples[len(samples) // 2] * 1e3, 3),
+        "p95_ms": round(
+            samples[min(len(samples) - 1, int(len(samples) * 0.95))] * 1e3,
+            3),
+        "max_ms": round(samples[-1] * 1e3, 3),
+    }
+
+
+async def sustained_throughput(socket_path: str, corpus: List[Dict],
+                               seconds: float, window: int = 16) -> Dict:
+    client = await GatewayClient.connect(socket_path=socket_path)
+    completed = errors = sent = 0
+    deadline = time.monotonic() + seconds
+
+    async def send_one():
+        nonlocal sent
+        spec = corpus[sent % len(corpus)]
+        await client._send({"op": "compile", "id": f"t{sent}", "spec": spec})
+        sent += 1
+
+    start = time.monotonic()
+    for _ in range(window):
+        await send_one()
+    while time.monotonic() < deadline:
+        frame = await asyncio.wait_for(client._read_frame(), 120)
+        if frame.get("op") != "compile":
+            continue
+        completed += 1
+        if not frame.get("ok"):
+            errors += 1
+        await send_one()
+    wall = time.monotonic() - start
+    while completed < sent:
+        frame = await asyncio.wait_for(client._read_frame(), 120)
+        if frame.get("op") == "compile":
+            completed += 1
+            if not frame.get("ok"):
+                errors += 1
+    await client.close()
+    return {"seconds": round(wall, 3), "completed": completed,
+            "errors": errors, "req_per_s": round(completed / wall, 1)}
+
+
+async def kill_recovery(socket_path: str, corpus: List[Dict],
+                        nodes: int) -> Dict:
+    """SIGKILL one gateway node under warm load; measure how long until
+    every node is healthy again, with traffic answered throughout."""
+    client = await GatewayClient.connect(socket_path=socket_path)
+    stats = await client.stats(timeout=60)
+    name = sorted(stats["nodes"])[0]
+    pid = stats["nodes"][name]["stats"]["pid"]
+    killed_at = time.monotonic()
+    os.kill(pid, signal.SIGKILL)
+
+    answered = errors = 0
+    healthy_at: Optional[float] = None
+    deadline = killed_at + 120
+    index = 0
+    while time.monotonic() < deadline:
+        spec = corpus[index % len(corpus)]
+        index += 1
+        response = await client.compile(spec, f"k{index}", timeout=120)
+        answered += 1
+        if not response.get("ok"):
+            errors += 1
+        if index % 10 == 0:
+            snap = await client.stats(timeout=60)
+            if snap["router"]["nodes_healthy"] == nodes:
+                healthy_at = time.monotonic()
+                break
+    await client.close()
+    return {
+        "killed_node": name,
+        "answered_during": answered,
+        "errors_during": errors,
+        "recovery_s": None if healthy_at is None
+        else round(healthy_at - killed_at, 3),
+    }
+
+
+def run_topology(label: str, server, corpus: List[Dict], warm_rounds: int,
+                 sustained_s: float, with_kill: bool) -> (List[Dict], bool):
+    rows: List[Dict] = []
+    failed = False
+    base = {"workload": "mixed-corpus", "topology": label,
+            "nodes": server.nodes}
+    try:
+        row = {**base, "kernel": "cold_pass",
+               **asyncio.run(cold_pass(server.socket_path, corpus))}
+        rows.append(row)
+        print(f"{label:9s} cold      {row['jobs']} jobs   "
+              f"wall {row['wall_s']:7.2f}s")
+
+        row = {**base, "kernel": "warm_latency",
+               **asyncio.run(warm_latency(server.socket_path, corpus,
+                                          warm_rounds))}
+        rows.append(row)
+        print(f"{label:9s} warm      p50 {row['p50_ms']:6.2f}ms  "
+              f"p95 {row['p95_ms']:6.2f}ms  max {row['max_ms']:6.2f}ms")
+        if row["uncached"]:
+            print(f"FAIL: {label}: {row['uncached']} warm requests missed "
+                  f"the cache", file=sys.stderr)
+            failed = True
+        if row["p50_ms"] > WARM_P50_FLOOR_MS:
+            print(f"FAIL: {label}: warm p50 {row['p50_ms']:.2f}ms above "
+                  f"the {WARM_P50_FLOOR_MS:.0f}ms floor", file=sys.stderr)
+            failed = True
+
+        row = {**base, "kernel": "sustained",
+               **asyncio.run(sustained_throughput(
+                   server.socket_path, corpus, sustained_s))}
+        rows.append(row)
+        print(f"{label:9s} sustained {row['completed']} reqs  "
+              f"{row['req_per_s']:7.1f} req/s over {row['seconds']:.1f}s")
+        if row["errors"]:
+            print(f"FAIL: {label}: {row['errors']} errored responses "
+                  f"under load", file=sys.stderr)
+            failed = True
+        if row["req_per_s"] < THROUGHPUT_FLOOR:
+            print(f"FAIL: {label}: {row['req_per_s']:.0f} req/s below the "
+                  f"{THROUGHPUT_FLOOR:.0f} req/s floor", file=sys.stderr)
+            failed = True
+
+        if with_kill:
+            row = {**base, "kernel": "kill_recovery",
+                   **asyncio.run(kill_recovery(
+                       server.socket_path, corpus, server.nodes))}
+            rows.append(row)
+            print(f"{label:9s} recovery  killed {row['killed_node']}  "
+                  f"healthy again in {row['recovery_s']}s  "
+                  f"({row['answered_during']} answered, "
+                  f"{row['errors_during']} errors meanwhile)")
+            if row["errors_during"]:
+                print(f"FAIL: {label}: {row['errors_during']} requests "
+                      f"errored during failover", file=sys.stderr)
+                failed = True
+            if row["recovery_s"] is None \
+                    or row["recovery_s"] > RECOVERY_FLOOR_S:
+                print(f"FAIL: {label}: fleet not healthy within "
+                      f"{RECOVERY_FLOOR_S:.0f}s of the kill",
+                      file=sys.stderr)
+                failed = True
+    finally:
+        code = server.stop()
+    print(f"{label:9s} shutdown  exit code {code}")
+    if code != 0:
+        print(f"FAIL: {label} did not shut down cleanly", file=sys.stderr)
+        failed = True
+    leftovers = list(server.state_dir.rglob("*.tmp"))
+    if leftovers:
+        print(f"FAIL: {label}: partial artifacts left: {leftovers}",
+              file=sys.stderr)
+        failed = True
+    return rows, failed
+
+
+def check_baseline(rows: List[Dict], path: str) -> List[str]:
+    with open(path) as handle:
+        baseline = {(row["topology"], row["kernel"]): row
+                    for row in json.load(handle)["rows"]}
+    problems = []
+    for row in rows:
+        recorded = baseline.get((row["topology"], row["kernel"]))
+        if recorded is None:
+            continue
+        if row["kernel"] == "warm_latency" \
+                and row["p50_ms"] > recorded["p50_ms"] * 2.0:
+            problems.append(
+                f"{row['topology']}: warm p50 {row['p50_ms']:.2f}ms more "
+                f"than doubled vs baseline {recorded['p50_ms']:.2f}ms")
+        if row["kernel"] == "sustained" \
+                and row["req_per_s"] < recorded["req_per_s"] / 2.0:
+            problems.append(
+                f"{row['topology']}: {row['req_per_s']:.0f} req/s fell "
+                f"below half the baseline {recorded['req_per_s']:.0f}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: smaller corpus, fewer "
+                             "topologies, shorter intervals")
+    parser.add_argument("--corpus-size", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--baseline", default=None)
+    args = parser.parse_args(argv)
+
+    corpus_size = args.corpus_size or (20 if args.smoke else 50)
+    corpus = mixed_corpus(corpus_size)
+    warm_rounds = 2 if args.smoke else 4
+    sustained_s = 2.0 if args.smoke else 8.0
+    if args.smoke:
+        topologies = [("single", 1), ("cluster2", 2)]
+    else:
+        topologies = [("single", 1), ("cluster2", 2), ("cluster3", 3)]
+
+    rows: List[Dict] = []
+    failed = False
+    with tempfile.TemporaryDirectory() as tmp:
+        for label, nodes in topologies:
+            if nodes == 1:
+                server = SingleGateway(Path(tmp), workers=args.workers)
+            else:
+                server = ClusterProcess(Path(tmp), nodes,
+                                        workers=args.workers)
+            # Kill-recovery needs a router + supervisor to do the
+            # failing-over; run it on every multi-node topology.
+            topo_rows, topo_failed = run_topology(
+                label, server, corpus, warm_rounds, sustained_s,
+                with_kill=nodes > 1)
+            rows.extend(topo_rows)
+            failed = failed or topo_failed
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"mode": "smoke" if args.smoke else "full",
+                       "corpus": len(corpus), "workers": args.workers,
+                       "rows": rows}, handle, indent=2)
+        print(f"\nwrote timings to {args.out}")
+    if args.baseline:
+        for problem in check_baseline(rows, args.baseline):
+            print(f"FAIL: {problem}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("\ncluster floors satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

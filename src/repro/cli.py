@@ -21,8 +21,13 @@ Commands
   newline-delimited JSON compile requests over a local socket, with
   admission control and the content-addressed cache shared across all
   clients (see :mod:`repro.service.gateway`);
+* ``serve-cluster`` — run a sharded N-node fabric: a supervisor spawns N
+  gateway nodes (each ``serve`` in shared-store mode, peers wired for
+  pull-through replication) and fronts them with the consistent-hash
+  router (see :mod:`repro.service.cluster`), surviving any single node
+  dying;
 * ``client SPECS.jsonl`` — stream a JSONL spec file through a running
-  gateway (pipelined), or query its ``stats`` verb;
+  gateway or cluster router (pipelined), or query its ``stats`` verb;
 * ``table1|table2|table3|table4|fig11`` — regenerate one experiment and
   print the report table.
 """
@@ -442,6 +447,8 @@ def _cmd_serve(args) -> int:
 
     from .service import CompileGateway, GatewayConfig, prepare_unix_path
 
+    peer_stores = tuple(
+        p.strip() for p in (args.peer_stores or "").split(",") if p.strip())
     config = GatewayConfig(
         socket_path=args.socket,
         host=args.host,
@@ -451,6 +458,8 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         per_client_limit=args.per_client_limit,
         allow_shutdown=args.allow_shutdown,
+        peer_stores=peer_stores,
+        replica_probes=args.replica_probes,
     )
 
     async def run() -> int:
@@ -485,6 +494,91 @@ def _cmd_serve(args) -> int:
     return asyncio.run(run())
 
 
+def _parse_tenant_quotas(pairs) -> dict:
+    quotas = {}
+    for pair in pairs or []:
+        name, _, value = pair.partition("=")
+        if not name or not value.isdigit():
+            raise ValueError(
+                f"bad --tenant-quota {pair!r}; expected NAME=N")
+        quotas[name] = int(value)
+    return quotas
+
+
+def _cmd_serve_cluster(args) -> int:
+    """Run an N-node sharded compile fabric until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from .service import (
+        ClusterRouter,
+        ClusterSupervisor,
+        plan_cluster,
+        prepare_unix_path,
+    )
+
+    try:
+        tenant_quotas = _parse_tenant_quotas(args.tenant_quota)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    os.makedirs(args.state_dir, exist_ok=True)
+    config = plan_cluster(
+        args.state_dir,
+        nodes=args.nodes,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        replica_probes=args.replica_probes,
+        vnodes=args.vnodes,
+        per_client_limit=args.per_client_limit,
+        tenant_quotas=tenant_quotas,
+        allow_shutdown=args.allow_shutdown,
+    )
+    if args.socket:
+        config.socket_path = args.socket
+
+    supervisor = ClusterSupervisor(
+        config.nodes, log_dir=os.path.join(args.state_dir, "logs"))
+    print(f"starting {args.nodes} gateway node(s)...", flush=True)
+    try:
+        supervisor.start()
+    except (RuntimeError, TimeoutError, ValueError) as exc:
+        print(f"cannot start cluster nodes: {exc}", file=sys.stderr)
+        supervisor.stop()
+        return 2
+
+    async def run() -> int:
+        router = ClusterRouter(config)
+        try:
+            if config.socket_path:
+                prepare_unix_path(config.socket_path)
+            await router.start()
+        except OSError as exc:
+            print(f"cannot bind cluster router: {exc}", file=sys.stderr)
+            await router.close(drain=False)
+            return 2
+        print(
+            f"cluster listening on {router.address} "
+            f"(nodes={len(config.nodes)}, workers={args.workers}, "
+            f"healthy={len(router.healthy_nodes())})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, router.shutdown_requested.set)
+        await router.shutdown_requested.wait()
+        print("cluster draining...", flush=True)
+        await router.close()
+        print("cluster router stopped", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    finally:
+        supervisor.stop()
+        print("cluster nodes stopped", flush=True)
+
+
 def _cmd_client(args) -> int:
     """Stream specs through a running gateway; exit 1 on any failed job."""
     import asyncio
@@ -494,6 +588,13 @@ def _cmd_client(args) -> int:
     if not args.stats and not args.specs:
         print("client needs a SPECS.jsonl file (or --stats)", file=sys.stderr)
         return 2
+    socket_path = args.socket
+    if args.cluster:
+        if socket_path:
+            print("--cluster and --socket are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        socket_path = os.path.join(args.cluster, "router.sock")
     specs = None
     if args.specs:
         specs = _read_specs(args.specs)
@@ -503,7 +604,7 @@ def _cmd_client(args) -> int:
     async def run() -> int:
         try:
             client = await GatewayClient.connect(
-                socket_path=args.socket, host=args.host, port=args.port,
+                socket_path=socket_path, host=args.host, port=args.port,
                 timeout=args.timeout,
             )
         except (OSError, asyncio.TimeoutError) as exc:
@@ -516,6 +617,7 @@ def _cmd_client(args) -> int:
             responses, latencies = await client.run_specs(
                 specs, want=args.want, window=args.window,
                 timeout=args.timeout * len(specs) + 60,
+                tenant=args.tenant,
             )
         except (ConnectionError, TimeoutError, asyncio.TimeoutError) as exc:
             print(f"gateway connection failed mid-run: {exc}", file=sys.stderr)
@@ -724,7 +826,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max unanswered cold requests per client")
     p.add_argument("--allow-shutdown", action="store_true",
                    help="honor the protocol 'shutdown' verb")
+    p.add_argument("--peer-stores", default=None, metavar="DIR,DIR,...",
+                   help="comma-separated peer cache directories probed "
+                        "(pull-through replication) on a local disk miss")
+    p.add_argument("--replica-probes", type=int, default=None,
+                   help="max peers one miss consults (default: all)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "serve-cluster",
+        help="run a sharded multi-node compile fabric: N supervised "
+             "gateway nodes behind a consistent-hash router "
+             "(see repro.service.cluster)",
+    )
+    p.add_argument("state_dir", metavar="STATE_DIR",
+                   help="directory for node sockets, stores, and logs "
+                        "(created if missing)")
+    p.add_argument("--nodes", type=int, default=3,
+                   help="gateway node count (default 3)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="router socket (default STATE_DIR/router.sock)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="compile worker processes per node "
+                        "(0 = one in-process thread per node)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="per-node cap on undispatched cold compiles")
+    p.add_argument("--per-client-limit", type=int, default=32,
+                   help="router cap on one client's unanswered requests")
+    p.add_argument("--vnodes", type=int, default=128,
+                   help="virtual nodes per member on the hash ring")
+    p.add_argument("--replica-probes", type=int, default=None,
+                   help="peers probed per pull-through miss (default: all)")
+    p.add_argument("--tenant-quota", action="append", metavar="NAME=N",
+                   help="cap tenant NAME at N outstanding compiles "
+                        "(repeatable)")
+    p.add_argument("--allow-shutdown", action="store_true",
+                   help="honor the protocol 'shutdown' verb at the router")
+    p.set_defaults(func=_cmd_serve_cluster)
 
     p = sub.add_parser(
         "client",
@@ -734,8 +872,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("specs", nargs="?", default=None,
                    help="JSONL file, one job spec per line")
     p.add_argument("--socket", default=None, metavar="PATH")
+    p.add_argument("--cluster", default=None, metavar="STATE_DIR",
+                   help="connect to a serve-cluster router by its state "
+                        "directory (shorthand for --socket "
+                        "STATE_DIR/router.sock)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--tenant", default=None, metavar="NAME",
+                   help="tag compile requests with a tenant identity "
+                        "(cluster routers quota by it)")
     p.add_argument("--want", default="metrics",
                    choices=["metrics", "artifact", "ack"])
     p.add_argument("--window", type=int, default=8,

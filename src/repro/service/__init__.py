@@ -21,6 +21,14 @@ from .artifact import (
 )
 from .batch import BatchEntry, BatchResult, compile_batch, resolve_spec
 from .cache import CacheStats, CompileCache
+from .cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ClusterSupervisor,
+    HashRing,
+    NodeSpec,
+    plan_cluster,
+)
 from .fingerprint import (
     FINGERPRINT_VERSION,
     canonical_options,
@@ -38,8 +46,14 @@ __all__ = [
     "BatchEntry",
     "BatchResult",
     "CacheStats",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
     "CompileCache",
     "CompileGateway",
+    "HashRing",
+    "NodeSpec",
+    "plan_cluster",
     "GatewayClient",
     "GatewayConfig",
     "GatewayMetrics",

@@ -25,7 +25,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterable, Iterator, Optional, Union
 
 __all__ = ["CacheStats", "CompileCache"]
 
@@ -68,6 +68,10 @@ class CacheStats:
     evictions: int = 0
     merged: int = 0
     discards: int = 0
+    #: Disk hits served by pulling the artifact through from a peer's
+    #: store (cluster replication); every ``pulled`` is also counted in
+    #: ``disk_hits``, so the hits/misses/lookups ledger is unchanged.
+    pulled: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -122,14 +126,32 @@ class CompileCache:
     memory_entries:
         LRU capacity of the in-process front; least-recently-used entries
         spill out of memory but stay on disk.
+    peer_roots:
+        Replica set for pull-through: other content-addressed stores
+        (cluster peers) probed — in order, up to ``replica_probes`` of
+        them — when the local disk tier misses.  A peer hit is published
+        into the local store via the exclusive-link path (so racing
+        pullers of one key count one publish) and counted as
+        ``disk_hits`` + ``pulled``.  Content addressing makes any peer's
+        bytes for a key identical to ours, and peers publish atomically,
+        so a probe can never observe a torn artifact.
+    replica_probes:
+        Cap on how many peers one miss consults (default: all of them).
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
-                 memory_entries: int = 256):
+                 memory_entries: int = 256,
+                 peer_roots: Iterable[os.PathLike] = (),
+                 replica_probes: Optional[int] = None):
         if memory_entries < 1:
             raise ValueError("memory_entries must be positive")
         self.root = Path(root) if root is not None else None
         self.memory_entries = int(memory_entries)
+        self.peer_roots = tuple(Path(p) for p in peer_roots)
+        self.replica_probes = (
+            len(self.peer_roots) if replica_probes is None
+            else max(0, int(replica_probes))
+        )
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, str]" = OrderedDict()
         self._lock = threading.Lock()
@@ -139,7 +161,11 @@ class CompileCache:
     # ------------------------------------------------------------------
     def _path(self, fingerprint: str) -> Path:
         assert self.root is not None
-        return self.root / fingerprint[:2] / f"{fingerprint[2:]}.json"
+        return self._key_path(self.root, fingerprint)
+
+    @staticmethod
+    def _key_path(root: Path, fingerprint: str) -> Path:
+        return root / fingerprint[:2] / f"{fingerprint[2:]}.json"
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -172,7 +198,10 @@ class CompileCache:
 
     def get_disk(self, fingerprint: str) -> Optional[str]:
         """Disk-tier probe (blocking): read, promote into memory, and
-        count the lookup's outcome (``disk_hits`` or ``misses``)."""
+        count the lookup's outcome (``disk_hits`` or ``misses``).
+
+        A local miss with ``peer_roots`` configured falls through to
+        :meth:`pull_through` before it is allowed to count as a miss."""
         if self.root is not None:
             try:
                 text = self._path(fingerprint).read_text()
@@ -183,7 +212,37 @@ class CompileCache:
                     self.stats.add(disk_hits=1)
                     self._remember(fingerprint, text)
                 return text
+        if self.peer_roots:
+            text = self.pull_through(fingerprint)
+            if text is not None:
+                return text
         self.stats.add(misses=1)
+        return None
+
+    def pull_through(self, fingerprint: str) -> Optional[str]:
+        """Probe up to ``replica_probes`` peer stores for the key and
+        replicate a hit into this store (blocking).
+
+        Returns the artifact text, counted as ``disk_hits`` + ``pulled``,
+        or ``None`` when no consulted replica holds it (nothing is
+        counted — the caller owns the miss).  The local publish uses the
+        exclusive link so two nodes pulling one key into one store never
+        double-write, and a memory-only cache simply adopts the bytes
+        into its LRU front.
+        """
+        for peer in self.peer_roots[:self.replica_probes]:
+            try:
+                text = self._key_path(peer, fingerprint).read_text()
+            except (FileNotFoundError, NotADirectoryError):
+                continue
+            except OSError:
+                continue   # peer store unreadable: treat as a miss there
+            if self.root is not None:
+                self._write_disk(fingerprint, text, exclusive=True)
+            with self._lock:
+                self.stats.add(disk_hits=1, pulled=1)
+                self._remember(fingerprint, text)
+            return text
         return None
 
     def put(self, fingerprint: str, text: str) -> None:

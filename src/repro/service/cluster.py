@@ -1,0 +1,1213 @@
+"""Sharded compile fabric: a consistent-hash router over N gateways.
+
+The eleventh architectural layer.  One :class:`CompileGateway` (PR 5) is
+a single daemon owning one cache: one process death loses all serving
+capacity, and throughput is capped at one node.  This module scales the
+same wire protocol horizontally::
+
+                          clients (protocol.py frames)
+                                     │
+                             ┌───────▼────────┐
+                             │  ClusterRouter │   fingerprint → shard
+                             │  (hash ring,   │   quotas, health,
+                             │   quotas)      │   failover, stats
+                             └───┬────┬────┬──┘
+                        trunk ┌──┘    │    └──┐ trunk
+                      ┌───────▼─┐ ┌───▼────┐ ┌▼────────┐
+                      │ node-0  │ │ node-1 │ │ node-2  │   CompileGateway,
+                      │ store-0 │ │ store-1│ │ store-2 │   shared-store
+                      └────┬────┘ └───┬────┘ └────┬────┘   workers
+                           └── pull-through ──────┘        (cache.py)
+
+Pieces:
+
+* :class:`HashRing` — deterministic consistent hashing with virtual
+  nodes.  Points are SHA-256 based (never Python's randomized ``hash``),
+  so every process that builds the ring from the same member names maps
+  every fingerprint to the same owner, and membership changes move only
+  the departed/arrived node's ranges.
+* :class:`ClusterRouter` — an asyncio daemon speaking the exact gateway
+  protocol on both sides.  Compile requests are fingerprinted (memoized,
+  off-loop), quota-checked (per-connection and per-tenant), and
+  forwarded verbatim to the shard owner over a persistent multiplexed
+  trunk connection; responses stream back re-keyed to the client's ids.
+  A dead trunk fails the node immediately: its ring ranges fall over to
+  the surviving members and in-flight forwards are retried there
+  (compiles are pure and content-addressed, so a replay is idempotent).
+  The router keeps its own :class:`~repro.service.metrics.GatewayMetrics`
+  ledger — every received request ends in exactly one outcome counter —
+  and its ``stats`` verb aggregates each node's snapshot plus a
+  cluster-wide sum.
+* :class:`ClusterSupervisor` — synchronous process manager for local
+  node fleets (`repro.cli serve` children): start, wait-ready, restart
+  on death, stop.  The fault-injection soak SIGKILLs the children it
+  manages.
+
+Artifact replication is *pull-through* at the store layer (see
+:meth:`repro.service.cache.CompileCache.pull_through`): each node's
+cache lists its peers' store directories as a replica set, so a miss on
+the shard owner probes the replicas before compiling and publishes what
+it finds with the exclusive-link merge.  Because replication is
+filesystem-level, a dead node's already-published artifacts remain
+servable by whoever inherits its ranges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import itertools
+import json
+import os
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .batch import resolve_spec
+from .metrics import GatewayMetrics
+from .protocol import (
+    E_BAD_SPEC,
+    E_CANCELLED,
+    E_OVERLOADED,
+    E_SHUTTING_DOWN,
+    E_UNAVAILABLE,
+    E_UNSUPPORTED,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    Request,
+    encode_frame,
+    error_frame,
+    hello_frame,
+    parse_request,
+)
+
+__all__ = [
+    "HashRing",
+    "NodeSpec",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "plan_cluster",
+]
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+
+class HashRing:
+    """Deterministic consistent-hash ring with virtual nodes.
+
+    Each member contributes ``vnodes`` points at
+    ``sha256(name + "\\x00" + i)``; a key lands on the first point
+    clockwise from ``sha256(key)``.  SHA-256 keeps the mapping identical
+    across processes and Python versions (no seeded ``hash()``), and
+    per-member points mean removing a node only reassigns *its* ranges —
+    the minimal-remap property the cluster's cache locality relies on.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 128):
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = int(vnodes)
+        self._points: List[Tuple[int, str]] = []
+        self._members: Set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _point(data: str) -> int:
+        digest = hashlib.sha256(data.encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def add(self, node: str) -> None:
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._members:
+            return
+        self._members.add(node)
+        for index in range(self.vnodes):
+            entry = (self._point(f"{node}\x00{index}"), node)
+            bisect.insort(self._points, entry)
+
+    def remove(self, node: str) -> None:
+        if node not in self._members:
+            return
+        self._members.discard(node)
+        self._points = [(p, n) for (p, n) in self._points if n != node]
+
+    def members(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    def owner(self, key: str) -> Optional[str]:
+        """The member owning ``key``; ``None`` on an empty ring."""
+        preferred = self.preference(key, 1)
+        return preferred[0] if preferred else None
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[str]:
+        """The first ``count`` *distinct* members clockwise from the
+        key's point — the owner first, then its natural failover order
+        (the replica set for that key)."""
+        if not self._points:
+            return []
+        want = len(self._members) if count is None \
+            else max(0, min(count, len(self._members)))
+        index = bisect.bisect_left(self._points, (self._point(key), ""))
+        out: List[str] = []
+        seen: Set[str] = set()
+        for step in range(len(self._points)):
+            _, node = self._points[(index + step) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= want:
+                    break
+        return out
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+@dataclass
+class NodeSpec:
+    """One gateway node as the router (and supervisor) sees it."""
+
+    name: str
+    #: Unix socket of the node's gateway; wins over host/port.
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: The node's on-disk store — needed by the supervisor to launch it
+    #: and by peers as a pull-through replica root.
+    cache_root: Optional[str] = None
+    workers: int = 1
+    queue_limit: int = 64
+    per_client_limit: int = 16
+    #: Peer store directories this node probes on a local miss.
+    peer_stores: Tuple[str, ...] = ()
+    replica_probes: Optional[int] = None
+
+
+@dataclass
+class ClusterConfig:
+    """Everything that shapes one router's behavior."""
+
+    #: Router listen address (same precedence rules as GatewayConfig).
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    nodes: Tuple[NodeSpec, ...] = ()
+    vnodes: int = 128
+    #: Cap on one client connection's unanswered compile requests.
+    per_client_limit: int = 32
+    #: Per-tenant caps on outstanding compiles across all connections;
+    #: tenants not listed fall back to ``default_tenant_quota``
+    #: (``None`` = unlimited).  Requests carrying no tenant are only
+    #: subject to the per-connection cap.
+    tenant_quotas: Dict[str, int] = field(default_factory=dict)
+    default_tenant_quota: Optional[int] = None
+    #: How many *additional* nodes a forward may fail over to after its
+    #: first node dies under it.
+    forward_retries: int = 2
+    health_interval: float = 1.0
+    health_timeout: float = 5.0
+    #: Consecutive ping failures before a live trunk is declared dead
+    #: (an EOF/reset on the trunk fails the node immediately).
+    health_failures: int = 2
+    connect_timeout: float = 2.0
+    fingerprint_memo_entries: int = 4096
+    allow_shutdown: bool = False
+    drain_timeout: float = 30.0
+
+
+def plan_cluster(state_dir: os.PathLike, nodes: int = 3, workers: int = 1,
+                 queue_limit: int = 64,
+                 node_per_client_limit: Optional[int] = None,
+                 replica_probes: Optional[int] = None,
+                 **router_kwargs) -> ClusterConfig:
+    """Lay out an N-node local cluster under ``state_dir``.
+
+    Each node gets ``node-<i>.sock`` and ``store-<i>/`` and lists every
+    other node's store as a pull-through replica; the router listens on
+    ``router.sock``.  Extra keyword arguments configure the router
+    (``vnodes``, ``tenant_quotas``, ``per_client_limit``, ...).  Purely
+    a path plan — nothing is created on disk.
+
+    ``node_per_client_limit`` defaults to ``queue_limit``: the router
+    funnels *every* client's traffic to a node over one trunk
+    connection, so the node-side per-client cap must not be the
+    bottleneck (admission control belongs to the node's global queue
+    limit and the router's own per-client/tenant quotas).
+    """
+    if nodes < 1:
+        raise ValueError("a cluster needs at least one node")
+    if node_per_client_limit is None:
+        node_per_client_limit = queue_limit
+    state = Path(state_dir)
+    roots = [str(state / f"store-{i}") for i in range(nodes)]
+    specs = tuple(
+        NodeSpec(
+            name=f"node-{i}",
+            socket_path=str(state / f"node-{i}.sock"),
+            cache_root=roots[i],
+            workers=workers,
+            queue_limit=queue_limit,
+            per_client_limit=node_per_client_limit,
+            peer_stores=tuple(r for j, r in enumerate(roots) if j != i),
+            replica_probes=replica_probes,
+        )
+        for i in range(nodes)
+    )
+    router_kwargs.setdefault("socket_path", str(state / "router.sock"))
+    return ClusterConfig(nodes=specs, **router_kwargs)
+
+
+# ----------------------------------------------------------------------
+# Router internals
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Forward:
+    """One client compile request in flight somewhere in the cluster."""
+
+    client: "_RouterClient"
+    request_id: str
+    router_id: str
+    frame: Dict                  # original compile frame, id rewritten on send
+    fingerprint: str
+    tenant: Optional[str]
+    received_at: float
+    attempts: int = 0
+    node: Optional[str] = None   # name of the node currently holding it
+    cancel_requested: bool = False
+    done: bool = False
+
+
+class _Trunk:
+    """The router's persistent multiplexed connection to one node."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.send_lock = asyncio.Lock()
+        self.pending: Dict[str, _Forward] = {}
+        #: Router-originated requests (pings, stats fan-out) by id.
+        self.waiters: Dict[str, asyncio.Future] = {}
+        self.reader_task: Optional[asyncio.Task] = None
+
+    async def send(self, frame: Dict) -> bool:
+        async with self.send_lock:
+            try:
+                self.writer.write(encode_frame(frame))
+                await self.writer.drain()
+                return True
+            except (ConnectionError, RuntimeError, OSError):
+                return False
+
+
+class _Node:
+    """Router-side view of one gateway node."""
+
+    def __init__(self, spec: NodeSpec):
+        self.spec = spec
+        self.trunk: Optional[_Trunk] = None
+        self.healthy = False
+        self.failures = 0
+        self.connects = 0    # successful trunk establishments (restarts show)
+
+
+class _RouterClient:
+    """Per-connection state on the router's client side."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.id = next(self._ids)
+        self.writer = writer
+        self.send_lock = asyncio.Lock()
+        self.closed = False
+        #: Unanswered compile forwards keyed by the client's request id.
+        self.waiting: Dict[str, _Forward] = {}
+
+
+def _spec_fingerprint(spec: Dict) -> str:
+    """Spec → content fingerprint (blocking: runs on the executor)."""
+    return resolve_spec(spec).fingerprint()
+
+
+#: Node error codes the router passes through as clean rejections.
+_REJECT_CODES = (E_OVERLOADED, E_SHUTTING_DOWN, E_UNAVAILABLE)
+
+
+class ClusterRouter:
+    """Fingerprint-sharding front for a fleet of compile gateways.
+
+    Speaks :mod:`repro.service.protocol` to clients and to every node;
+    ``await start()``, then hold it open; ``await close()`` drains and
+    releases everything.  Single event loop, no threads of its own —
+    spec fingerprinting is the only CPU-bound step and runs on the
+    default executor, memoized.
+    """
+
+    def __init__(self, config: ClusterConfig):
+        if not config.nodes:
+            raise ValueError("a cluster router needs at least one node spec")
+        names = [spec.name for spec in config.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in {names}")
+        self.config = config
+        self.ring = HashRing(vnodes=config.vnodes)
+        self.metrics = GatewayMetrics()
+        self.shutdown_requested = asyncio.Event()
+        self._nodes: Dict[str, _Node] = {
+            spec.name: _Node(spec) for spec in config.nodes
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._clients: Set[_RouterClient] = set()
+        self._forward_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
+        self._fp_memo: "OrderedDict[str, str]" = OrderedDict()
+        #: Tenant → outstanding forwarded compiles (quota denominator).
+        self._tenants: Dict[str, int] = {}
+        self._tenant_received: Dict[str, int] = {}
+        #: Recently finished router-id → (client, client request id), so a
+        #: node's trailing cancel ack can still be translated back.
+        self._recent: "OrderedDict[str, Tuple[_RouterClient, str]]" = \
+            OrderedDict()
+        self._health_task: Optional[asyncio.Task] = None
+        self._health_wake = asyncio.Event()
+        self._tasks: Set[asyncio.Task] = set()
+        self._closing = False
+        self._bound = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, wait_nodes: bool = True) -> None:
+        """Bind the listen socket and begin health-checking the fleet.
+
+        ``wait_nodes`` runs one immediate connect pass so a router whose
+        nodes are already up starts with a populated ring.
+        """
+        if self.config.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.socket_path,
+                limit=MAX_FRAME_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port,
+                limit=MAX_FRAME_BYTES,
+            )
+        self._bound = True
+        if wait_nodes:
+            await self._probe_all()
+        self._health_task = asyncio.create_task(self._health_loop())
+
+    @property
+    def address(self) -> str:
+        if self.config.socket_path:
+            return self.config.socket_path
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return f"{host}:{port}"
+
+    @property
+    def port(self) -> Optional[int]:
+        if self.config.socket_path or self._server is None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    def healthy_nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            name for name, node in self._nodes.items() if node.healthy))
+
+    async def close(self, drain: bool = True) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout
+            while (any(c.waiting for c in self._clients)
+                   and time.monotonic() < deadline):
+                await asyncio.sleep(0.02)
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        # Whatever still waits gets a clean refusal, counted in the
+        # ledger, before the sockets die.
+        for client in list(self._clients):
+            for forward in list(client.waiting.values()):
+                await self._finish(forward, "rejected", [error_frame(
+                    "compile", forward.request_id, E_SHUTTING_DOWN,
+                    "cluster router is shutting down")])
+            client.closed = True
+            try:
+                client.writer.close()
+            except Exception:
+                pass
+        for node in self._nodes.values():
+            if node.trunk is not None:
+                await self._drop_trunk(node, node.trunk, retry=False)
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if (self._bound and self.config.socket_path):
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._unlink_socket)
+
+    def _unlink_socket(self) -> None:
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    # ------------------------------------------------------------------
+    # Node health / trunks
+    # ------------------------------------------------------------------
+    async def _health_loop(self) -> None:
+        while not self._closing:
+            try:
+                await asyncio.wait_for(
+                    self._health_wake.wait(),
+                    timeout=self.config.health_interval)
+            except asyncio.TimeoutError:
+                pass
+            self._health_wake.clear()
+            if self._closing:
+                return
+            await self._probe_all()
+
+    async def _probe_all(self) -> None:
+        await asyncio.gather(
+            *(self._probe_node(node) for node in self._nodes.values()),
+            return_exceptions=True,
+        )
+
+    async def _probe_node(self, node: _Node) -> None:
+        if node.trunk is None:
+            await self._connect_node(node)
+            return
+        trunk = node.trunk
+        try:
+            await self._node_request(
+                node, {"op": "ping"}, timeout=self.config.health_timeout)
+            node.failures = 0
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            node.failures += 1
+            if node.failures >= self.config.health_failures:
+                await self._drop_trunk(node, trunk)
+
+    async def _connect_node(self, node: _Node) -> bool:
+        spec = node.spec
+        try:
+            if spec.socket_path:
+                opening = asyncio.open_unix_connection(
+                    spec.socket_path, limit=MAX_FRAME_BYTES)
+            else:
+                opening = asyncio.open_connection(
+                    spec.host, spec.port, limit=MAX_FRAME_BYTES)
+            reader, writer = await asyncio.wait_for(
+                opening, self.config.connect_timeout)
+            hello = await asyncio.wait_for(
+                reader.readline(), self.config.connect_timeout)
+            if not hello:
+                raise ConnectionError("node closed during hello")
+        except (OSError, ConnectionError, asyncio.TimeoutError, ValueError):
+            node.failures += 1
+            return False
+        trunk = _Trunk(reader, writer)
+        node.trunk = trunk
+        node.healthy = True
+        node.failures = 0
+        node.connects += 1
+        self.ring.add(spec.name)
+        trunk.reader_task = self._spawn(self._trunk_reader(node, trunk))
+        return True
+
+    async def _trunk_reader(self, node: _Node, trunk: _Trunk) -> None:
+        try:
+            while True:
+                try:
+                    line = await trunk.reader.readline()
+                except ValueError:   # over-long frame: trunk unusable
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(frame, dict):
+                    await self._on_node_frame(node, trunk, frame)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            await self._drop_trunk(node, trunk)
+
+    async def _drop_trunk(self, node: _Node, trunk: _Trunk,
+                          retry: bool = True) -> None:
+        """Fail a node: remove its ring ranges, rehome its in-flight
+        forwards.  Idempotent per trunk (reader teardown and health-loop
+        detection can both get here)."""
+        if node.trunk is not trunk:
+            return
+        node.trunk = None
+        node.healthy = False
+        self.ring.remove(node.spec.name)
+        if trunk.reader_task is not None \
+                and trunk.reader_task is not asyncio.current_task():
+            trunk.reader_task.cancel()
+        for future in trunk.waiters.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError("node connection lost"))
+        trunk.waiters.clear()
+        pending = list(trunk.pending.values())
+        trunk.pending.clear()
+        try:
+            trunk.writer.close()
+        except Exception:
+            pass
+        for forward in pending:
+            if forward.done:
+                continue
+            if not retry or forward.cancel_requested:
+                await self._finish(forward, "cancelled", [
+                    error_frame("compile", forward.request_id, E_CANCELLED,
+                                "node lost while cancelling"),
+                    {"op": "cancel", "id": forward.request_id, "ok": True,
+                     "state": "cancelled"},
+                ])
+            else:
+                # Failover: the ring no longer contains this node, so the
+                # retry lands on the key's next preference — replaying a
+                # pure, content-addressed compile is safe.
+                self._spawn(self._forward(forward))
+        if retry and not self._closing:
+            self._health_wake.set()
+
+    async def _node_request(self, node: _Node, frame: Dict,
+                            timeout: float) -> Dict:
+        """One router-originated round trip on a node's trunk."""
+        trunk = node.trunk
+        if trunk is None:
+            raise ConnectionError(f"{node.spec.name} has no trunk")
+        rid = f"rt-{next(self._request_ids)}"
+        frame = dict(frame)
+        frame["id"] = rid
+        future = asyncio.get_running_loop().create_future()
+        trunk.waiters[rid] = future
+        try:
+            if not await trunk.send(frame):
+                raise ConnectionError(f"{node.spec.name} trunk send failed")
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            trunk.waiters.pop(rid, None)
+
+    async def _on_node_frame(self, node: _Node, trunk: _Trunk,
+                             frame: Dict) -> None:
+        rid = frame.get("id")
+        rid = None if rid is None else str(rid)
+        future = trunk.waiters.get(rid)
+        if future is not None:
+            if not future.done():
+                future.set_result(frame)
+            return
+        if frame.get("op") == "cancel":
+            # Ack for a forwarded cancel: translate the id back.  The
+            # matching compile outcome frame travels separately (the node
+            # answers the compile *before* acking the cancel), so the
+            # forward may already have finished — _recent bridges that.
+            target = None
+            forward = trunk.pending.get(rid)
+            if forward is not None:
+                target = (forward.client, forward.request_id)
+            elif rid in self._recent:
+                target = self._recent[rid]
+            if target is not None:
+                out = dict(frame)
+                out["id"] = target[1]
+                await self._send(target[0], out)
+            return
+        forward = trunk.pending.pop(rid, None)
+        if forward is None or forward.done:
+            return
+        out = dict(frame)
+        out["id"] = forward.request_id
+        if frame.get("ok"):
+            counter = "warm_hits" if frame.get("cached") else "completed"
+        else:
+            code = frame.get("code")
+            if code in _REJECT_CODES:
+                counter = "rejected"
+            elif code == E_BAD_SPEC:
+                counter = "bad_specs"
+            elif code == E_CANCELLED:
+                counter = "cancelled"
+            else:
+                counter = "failed"
+        await self._finish(forward, counter, [out])
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        client = _RouterClient(writer)
+        self._clients.add(client)
+        self.metrics.incr("connections_total")
+        await self._send(client, hello_frame(server="repro-cluster"))
+        try:
+            while not client.closed:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    self.metrics.incr("bad_requests")
+                    await self._send(client, error_frame(
+                        None, None, "bad-frame", "frame exceeds size limit"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._handle_frame(client, line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            await self._disconnect(client)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_frame(self, client: _RouterClient, line: bytes) -> None:
+        received_at = time.perf_counter()
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.incr("bad_requests")
+            await self._send(client, error_frame(
+                None, exc.request_id, exc.code, str(exc)))
+            return
+        if request.op == "ping":
+            await self._send(client, {"op": "pong", "id": request.id,
+                                      "ok": True})
+        elif request.op == "stats":
+            stats = await self.cluster_stats()
+            await self._send(client, {"op": "stats", "id": request.id,
+                                      "ok": True, "stats": stats})
+        elif request.op == "shutdown":
+            if not self.config.allow_shutdown:
+                await self._send(client, error_frame(
+                    "shutdown", request.id, E_UNSUPPORTED,
+                    "shutdown verb is disabled (start with --allow-shutdown)"))
+                return
+            await self._send(client, {"op": "shutdown", "id": request.id,
+                                      "ok": True})
+            self.shutdown_requested.set()
+        elif request.op == "cancel":
+            await self._handle_cancel(client, request)
+        else:
+            await self._handle_compile(client, request, received_at)
+
+    async def _handle_compile(self, client: _RouterClient, request: Request,
+                              received_at: float) -> None:
+        self.metrics.incr("received")
+        if request.tenant is not None:
+            self._tenant_received[request.tenant] = \
+                self._tenant_received.get(request.tenant, 0) + 1
+        try:
+            fingerprint = await self._fingerprint(request.spec)
+        except (ValueError, KeyError, TypeError) as exc:
+            self.metrics.incr("bad_specs")
+            await self._send(client, error_frame(
+                "compile", request.id, E_BAD_SPEC, str(exc)))
+            return
+        if self._closing:
+            self.metrics.incr("rejected")
+            await self._send(client, error_frame(
+                "compile", request.id, E_SHUTTING_DOWN,
+                "cluster router is shutting down"))
+            return
+        if len(client.waiting) >= self.config.per_client_limit:
+            self.metrics.incr("rejected")
+            await self._send(client, error_frame(
+                "compile", request.id, E_OVERLOADED,
+                f"client has {len(client.waiting)} unanswered requests "
+                f"(limit {self.config.per_client_limit})"))
+            return
+        quota = self._tenant_quota(request.tenant)
+        if quota is not None \
+                and self._tenants.get(request.tenant, 0) >= quota:
+            self.metrics.incr("rejected")
+            await self._send(client, error_frame(
+                "compile", request.id, E_OVERLOADED,
+                f"tenant {request.tenant!r} has "
+                f"{self._tenants.get(request.tenant, 0)} outstanding "
+                f"requests (quota {quota})"))
+            return
+
+        forward = _Forward(
+            client=client,
+            request_id=request.id,
+            router_id=f"fw-{next(self._forward_ids)}",
+            frame=dict(request.raw),
+            fingerprint=fingerprint,
+            tenant=request.tenant,
+            received_at=received_at,
+        )
+        client.waiting[request.id] = forward
+        if request.tenant is not None:
+            self._tenants[request.tenant] = \
+                self._tenants.get(request.tenant, 0) + 1
+        self.metrics.incr("admitted")
+        await self._forward(forward)
+
+    def _tenant_quota(self, tenant: Optional[str]) -> Optional[int]:
+        if tenant is None:
+            return None
+        quota = self.config.tenant_quotas.get(tenant)
+        if quota is None:
+            quota = self.config.default_tenant_quota
+        return quota
+
+    async def _forward(self, forward: _Forward) -> None:
+        """Place one compile on its shard owner, failing over through the
+        key's preference order as nodes die under it."""
+        while not forward.done:
+            if forward.client.closed or forward.cancel_requested:
+                await self._finish(forward, "cancelled", [])
+                return
+            owner = self.ring.owner(forward.fingerprint)
+            if owner is None or forward.attempts \
+                    > self.config.forward_retries:
+                await self._finish(forward, "rejected", [error_frame(
+                    "compile", forward.request_id, E_UNAVAILABLE,
+                    "no healthy node owns this shard" if owner is None else
+                    f"shard owners kept failing ({forward.attempts} attempts)",
+                )])
+                return
+            node = self._nodes[owner]
+            trunk = node.trunk
+            if trunk is None or not node.healthy:
+                # The ring and trunk state disagree for an instant
+                # (membership changes mid-await): fail the node and loop.
+                if trunk is not None:
+                    await self._drop_trunk(node, trunk)
+                else:
+                    self.ring.remove(owner)
+                    self._health_wake.set()
+                continue
+            forward.attempts += 1
+            forward.node = owner
+            trunk.pending[forward.router_id] = forward
+            frame = dict(forward.frame)
+            frame["id"] = forward.router_id
+            if await trunk.send(frame):
+                return   # the trunk reader owns the response from here
+            trunk.pending.pop(forward.router_id, None)
+            await self._drop_trunk(node, trunk)
+
+    async def _handle_cancel(self, client: _RouterClient,
+                             request: Request) -> None:
+        forward = client.waiting.get(request.id)
+        if forward is None or forward.done:
+            await self._send(client, {"op": "cancel", "id": request.id,
+                                      "ok": True, "state": "not-found"})
+            return
+        forward.cancel_requested = True
+        node = self._nodes.get(forward.node) if forward.node else None
+        trunk = node.trunk if node is not None else None
+        if trunk is not None and forward.router_id in trunk.pending:
+            # The node owns the outcome: it answers the compile with
+            # E_CANCELLED (or a result, if it raced past the cancel) and
+            # acks the cancel; both frames are translated back above.
+            await trunk.send({"op": "cancel", "id": forward.router_id})
+            return
+        # Not currently on any node (between failovers): settle it here.
+        await self._finish(forward, "cancelled", [
+            error_frame("compile", request.id, E_CANCELLED,
+                        "cancelled by request"),
+            {"op": "cancel", "id": request.id, "ok": True,
+             "state": "cancelled"},
+        ])
+
+    async def _disconnect(self, client: _RouterClient) -> None:
+        if client not in self._clients:
+            return
+        self._clients.discard(client)
+        client.closed = True
+        self.metrics.incr("disconnects")
+        for forward in list(client.waiting.values()):
+            forward.cancel_requested = True
+            node = self._nodes.get(forward.node) if forward.node else None
+            trunk = node.trunk if node is not None else None
+            if trunk is not None and forward.router_id in trunk.pending:
+                # Let the node reap the work; its answer frame settles the
+                # ledger (the client is gone, so the frames go nowhere).
+                await trunk.send({"op": "cancel", "id": forward.router_id})
+            else:
+                await self._finish(forward, "cancelled", [])
+
+    # ------------------------------------------------------------------
+    # Settlement / send
+    # ------------------------------------------------------------------
+    async def _finish(self, forward: _Forward, counter: str,
+                      frames: Sequence[Dict]) -> None:
+        """Settle one forward exactly once: ledger, quota release, client
+        frames, and the recent-id bridge for trailing cancel acks."""
+        if forward.done:
+            return
+        forward.done = True
+        client = forward.client
+        if client.waiting.get(forward.request_id) is forward:
+            del client.waiting[forward.request_id]
+        if forward.tenant is not None:
+            left = self._tenants.get(forward.tenant, 0) - 1
+            if left > 0:
+                self._tenants[forward.tenant] = left
+            else:
+                self._tenants.pop(forward.tenant, None)
+        self.metrics.incr(counter)
+        elapsed = time.perf_counter() - forward.received_at
+        if counter == "warm_hits":
+            self.metrics.warm_latency.record(elapsed)
+        elif counter == "completed":
+            self.metrics.cold_latency.record(elapsed)
+        self._recent[forward.router_id] = (client, forward.request_id)
+        while len(self._recent) > 1024:
+            self._recent.popitem(last=False)
+        for frame in frames:
+            await self._send(client, frame)
+
+    async def _send(self, client: _RouterClient, frame: Dict) -> bool:
+        if client.closed:
+            return False
+        async with client.send_lock:
+            if client.closed:
+                return False
+            try:
+                client.writer.write(encode_frame(frame))
+                await client.writer.drain()
+                return True
+            except (ConnectionError, RuntimeError, OSError):
+                client.closed = True
+                return False
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    async def _fingerprint(self, spec: Dict) -> str:
+        key = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        hit = self._fp_memo.get(key)
+        if hit is not None:
+            self._fp_memo.move_to_end(key)
+            return hit
+        fingerprint = await asyncio.get_running_loop().run_in_executor(
+            None, _spec_fingerprint, spec)
+        self._fp_memo[key] = fingerprint
+        while len(self._fp_memo) > self.config.fingerprint_memo_entries:
+            self._fp_memo.popitem(last=False)
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def router_stats(self) -> Dict:
+        """The router's own reconciling snapshot (no node round trips)."""
+        snap = self.metrics.snapshot()
+        snap["pid"] = os.getpid()
+        snap["ring"] = {
+            "vnodes": self.config.vnodes,
+            "members": list(self.ring.members()),
+        }
+        snap["nodes_healthy"] = len(self.healthy_nodes())
+        snap["nodes_total"] = len(self._nodes)
+        snap["connections"] = len(self._clients)
+        snap["outstanding"] = sum(len(c.waiting) for c in self._clients)
+        snap["tenants"] = {
+            tenant: {
+                "received": self._tenant_received.get(tenant, 0),
+                "outstanding": self._tenants.get(tenant, 0),
+                "quota": self._tenant_quota(tenant),
+            }
+            for tenant in sorted(set(self._tenant_received)
+                                 | set(self._tenants))
+        }
+        return snap
+
+    async def cluster_stats(self) -> Dict:
+        """The ``stats`` verb payload: router ledger + per-node snapshots
+        + cluster-wide sums, fetched from every healthy node in parallel.
+
+        Reconciliation nests: the router's ``requests`` section satisfies
+        received == sum(outcomes) for traffic *it* accepted, each node's
+        section satisfies it for traffic that *reached* that node, and
+        ``cluster.requests`` is the per-node sum (so it reconciles too).
+        """
+
+        async def fetch(node: _Node):
+            if node.trunk is None:
+                return node, None
+            try:
+                response = await self._node_request(
+                    node, {"op": "stats"}, timeout=self.config.health_timeout)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                return node, None
+            return node, response.get("stats")
+
+        fetched = await asyncio.gather(
+            *(fetch(node) for node in self._nodes.values()))
+        nodes_section: Dict[str, Dict] = {}
+        cluster_requests: Dict[str, int] = {}
+        cluster_cache: Dict[str, int] = {}
+        for node, stats in sorted(fetched, key=lambda p: p[0].spec.name):
+            nodes_section[node.spec.name] = {
+                "healthy": node.healthy,
+                "address": node.spec.socket_path
+                or f"{node.spec.host}:{node.spec.port}",
+                "connects": node.connects,
+                "stats": stats,
+            }
+            if not stats:
+                continue
+            for name, value in stats.get("requests", {}).items():
+                if isinstance(value, (int, float)):
+                    cluster_requests[name] = \
+                        cluster_requests.get(name, 0) + value
+            for name, value in stats.get("cache", {}).items():
+                if isinstance(value, (int, float)):
+                    cluster_cache[name] = cluster_cache.get(name, 0) + value
+        cluster_cache.pop("hit_rate", None)
+        return {
+            "router": self.router_stats(),
+            "nodes": nodes_section,
+            "cluster": {
+                "requests": cluster_requests,
+                "cache": cluster_cache,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Local fleet supervision
+# ----------------------------------------------------------------------
+
+class ClusterSupervisor:
+    """Run and babysit a local fleet of ``repro.cli serve`` nodes.
+
+    Synchronous by design (the router owns the event loop; process
+    management is thread + ``subprocess`` territory): ``start()`` spawns
+    every node and waits for its socket to accept, a monitor thread
+    restarts any child that dies — which is exactly what the
+    fault-injection soak exercises by SIGKILLing them — and ``stop()``
+    terminates the fleet cleanly.
+    """
+
+    def __init__(self, specs: Sequence[NodeSpec], restart: bool = True,
+                 restart_delay: float = 0.25,
+                 log_dir: Optional[os.PathLike] = None):
+        self.specs = list(specs)
+        self.restart = restart
+        self.restart_delay = restart_delay
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._logs: Dict[str, object] = {}
+        self._restarts: Dict[str, int] = {}
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- launch --------------------------------------------------------
+    @staticmethod
+    def _command(spec: NodeSpec) -> List[str]:
+        if not spec.socket_path or not spec.cache_root:
+            raise ValueError(
+                f"node {spec.name!r} needs socket_path and cache_root "
+                f"to be supervised")
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", spec.socket_path,
+            "--cache", spec.cache_root,
+            "--workers", str(spec.workers),
+            "--queue-limit", str(spec.queue_limit),
+            "--per-client-limit", str(spec.per_client_limit),
+        ]
+        if spec.peer_stores:
+            command += ["--peer-stores", ",".join(spec.peer_stores)]
+            if spec.replica_probes is not None:
+                command += ["--replica-probes", str(spec.replica_probes)]
+        return command
+
+    @staticmethod
+    def _env() -> Dict[str, str]:
+        env = dict(os.environ)
+        # The child runs `-m repro.cli`: make sure it resolves to *this*
+        # checkout even when the parent imported repro off sys.path
+        # tweaks (tests, benchmarks) rather than an installed package.
+        src = str(Path(__file__).resolve().parents[2])
+        parts = [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+                         if p and p != src]
+        env["PYTHONPATH"] = os.pathsep.join(parts)
+        return env
+
+    def _launch(self, spec: NodeSpec) -> None:
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            log = open(self.log_dir / f"{spec.name}.log", "ab")
+        else:
+            log = None
+        proc = subprocess.Popen(
+            self._command(spec),
+            stdout=log if log is not None else subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+            env=self._env(),
+            start_new_session=True,
+        )
+        with self._lock:
+            old_log = self._logs.pop(spec.name, None)
+            self._procs[spec.name] = proc
+            if log is not None:
+                self._logs[spec.name] = log
+        if old_log is not None:
+            try:
+                old_log.close()
+            except Exception:
+                pass
+
+    def _wait_listening(self, spec: NodeSpec, deadline: float) -> None:
+        while time.monotonic() < deadline:
+            with self._lock:
+                proc = self._procs.get(spec.name)
+            if proc is not None and proc.poll() is not None:
+                raise RuntimeError(
+                    f"node {spec.name} exited with {proc.returncode} "
+                    f"before listening (see {self.log_dir})")
+            probe = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+            try:
+                probe.settimeout(0.5)
+                probe.connect(spec.socket_path)
+                return
+            except OSError:
+                time.sleep(0.1)
+            finally:
+                probe.close()
+        raise TimeoutError(f"node {spec.name} did not start listening")
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, wait_ready: float = 60.0) -> None:
+        for spec in self.specs:
+            self._launch(spec)
+        deadline = time.monotonic() + wait_ready
+        for spec in self.specs:
+            self._wait_listening(spec, deadline)
+        if self.restart:
+            monitor = threading.Thread(
+                target=self._monitor_loop, name="cluster-supervisor",
+                daemon=True)
+            with self._lock:
+                self._monitor = monitor
+            monitor.start()
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(0.2):
+            for spec in self.specs:
+                with self._lock:
+                    proc = self._procs.get(spec.name)
+                if proc is None or proc.poll() is None:
+                    continue
+                if self._stopping.is_set():
+                    return
+                with self._lock:
+                    self._restarts[spec.name] = \
+                        self._restarts.get(spec.name, 0) + 1
+                time.sleep(self.restart_delay)
+                self._launch(spec)
+
+    def pids(self) -> Dict[str, int]:
+        """Live child pids by node name."""
+        with self._lock:
+            procs = dict(self._procs)
+        return {name: proc.pid for name, proc in procs.items()
+                if proc.poll() is None}
+
+    def restarts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._restarts)
+
+    def kill(self, name: str, sig: int = signal.SIGKILL) -> bool:
+        """Signal one node (fault injection); ``True`` if delivered."""
+        with self._lock:
+            proc = self._procs.get(name)
+        if proc is None or proc.poll() is not None:
+            return False
+        try:
+            os.kill(proc.pid, sig)
+            return True
+        except OSError:
+            return False
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stopping.set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.join(timeout=5.0)
+        with self._lock:
+            procs = dict(self._procs)
+        for proc in procs.values():
+            if proc.poll() is None:
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                try:
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+                except (OSError, subprocess.TimeoutExpired):
+                    pass
+        with self._lock:
+            logs = dict(self._logs)
+            self._logs.clear()
+        for log in logs.values():
+            try:
+                log.close()
+            except Exception:
+                pass

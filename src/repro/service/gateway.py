@@ -114,6 +114,11 @@ class GatewayConfig:
     #: Re-dispatch attempts when the process pool breaks under a job.
     dispatch_retries: int = 2
     drain_timeout: float = 30.0
+    #: Cluster replication: peer nodes' store directories probed (pull-
+    #: through) when the local disk tier misses, before compiling.
+    peer_stores: Tuple[str, ...] = ()
+    #: How many peers one miss consults (None = all of peer_stores).
+    replica_probes: Optional[int] = None
 
 
 @dataclass
@@ -188,7 +193,9 @@ class CompileGateway:
                  cache: Optional[CompileCache] = None):
         self.config = config
         self.cache = cache if cache is not None else CompileCache(
-            config.cache_root, memory_entries=config.memory_entries
+            config.cache_root, memory_entries=config.memory_entries,
+            peer_roots=config.peer_stores,
+            replica_probes=config.replica_probes,
         )
         self.metrics = GatewayMetrics()
         self.shutdown_requested = asyncio.Event()
@@ -869,6 +876,9 @@ class CompileGateway:
 
     def stats(self) -> Dict:
         snap = self.metrics.snapshot()
+        # The daemon's own pid, so a cluster supervisor / soak harness can
+        # target the node process behind a router without guessing.
+        snap["pid"] = os.getpid()
         cache = self.cache.stats.as_dict()
         cache["hit_rate"] = (
             round(cache["hits"] / cache["lookups"], 4)
@@ -966,11 +976,12 @@ class GatewayClient:
             self._stash_frame(response)
 
     async def compile(self, spec: Dict, request_id: str = "c1",
-                      want: str = "metrics", timeout: float = 300.0) -> Dict:
-        return await self.request(
-            {"op": "compile", "id": request_id, "spec": spec, "want": want},
-            timeout=timeout,
-        )
+                      want: str = "metrics", timeout: float = 300.0,
+                      tenant: Optional[str] = None) -> Dict:
+        frame = {"op": "compile", "id": request_id, "spec": spec, "want": want}
+        if tenant is not None:
+            frame["tenant"] = tenant
+        return await self.request(frame, timeout=timeout)
 
     async def stats(self, timeout: float = 30.0) -> Dict:
         response = await self.request({"op": "stats", "id": "_stats"},
@@ -995,8 +1006,9 @@ class GatewayClient:
 
     async def run_specs(self, specs: List[Dict], want: str = "metrics",
                         window: int = 32, id_prefix: str = "q",
-                        timeout: float = 600.0) -> Tuple[List[Optional[Dict]],
-                                                         List[float]]:
+                        timeout: float = 600.0,
+                        tenant: Optional[str] = None,
+                        ) -> Tuple[List[Optional[Dict]], List[float]]:
         """Pipeline ``specs`` with ≤ ``window`` in flight.
 
         Returns ``(responses_by_input_index, per_request_latency_seconds)``;
@@ -1013,8 +1025,11 @@ class GatewayClient:
             nonlocal next_index, outstanding
             rid = f"{id_prefix}{next_index}"
             sent_at[rid] = (next_index, time.perf_counter())
-            await self._send({"op": "compile", "id": rid,
-                              "spec": specs[next_index], "want": want})
+            frame = {"op": "compile", "id": rid,
+                     "spec": specs[next_index], "want": want}
+            if tenant is not None:
+                frame["tenant"] = tenant
+            await self._send(frame)
             next_index += 1
             outstanding += 1
 

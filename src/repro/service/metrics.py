@@ -48,15 +48,24 @@ class LatencyReservoir:
         """p in [0, 100] over the resident window; ``None`` when empty."""
         with self._lock:
             data = sorted(self._samples)
+        return self._rank(data, p)
+
+    @staticmethod
+    def _rank(data, p: float) -> Optional[float]:
         if not data:
             return None
         rank = max(0, min(len(data) - 1, round(p / 100.0 * (len(data) - 1))))
         return data[rank]
 
     def summary(self) -> Dict:
+        # One lock acquisition for the whole summary: counters and the
+        # sorted window come from the same instant, so p50/p95 can never
+        # describe a different sample population than `count` (three
+        # separate acquisitions allowed a record() to land in between).
         with self._lock:
             count, total, peak = self._count, self._sum, self._max
-        p50, p95 = self.percentile(50), self.percentile(95)
+            data = sorted(self._samples)
+        p50, p95 = self._rank(data, 50), self._rank(data, 95)
         return {
             "count": count,
             "p50_ms": None if p50 is None else round(p50 * 1e3, 3),

@@ -35,6 +35,22 @@ Error codes are the ``E_*`` constants below.  A malformed line gets an
 connection stays open (line framing survives bad payloads); only an
 oversized frame closes the connection, since the byte stream can no
 longer be trusted to resynchronize.
+
+Cluster extensions (:mod:`repro.service.cluster`) reuse the same frames:
+a router speaks this exact protocol to clients (hello ``server`` is
+``"repro-cluster"``) and to each gateway node.  Three additions:
+
+* ``compile`` requests may carry an optional ``"tenant"`` string, which
+  the router uses for multi-tenant quota accounting (single gateways
+  accept and ignore it);
+* ``E_UNAVAILABLE`` rejects a request whose shard has no healthy owner
+  (every node dead / unreachable) — a clean refusal, never a hang;
+* the router's ``stats`` response nests reconciling sections:
+  ``{"router": {...}, "nodes": {name: {...}}, "cluster": {...}}``, where
+  ``router`` is the router's own ``GatewayMetrics`` snapshot (same
+  received == sum(outcomes) ledger as a node), ``nodes`` maps each node
+  name to its health plus its own ``stats`` payload, and ``cluster``
+  sums the per-node request/cache counters.
 """
 
 from __future__ import annotations
@@ -54,6 +70,7 @@ __all__ = [
     "E_CANCELLED",
     "E_SHUTTING_DOWN",
     "E_UNSUPPORTED",
+    "E_UNAVAILABLE",
     "WANT_CHOICES",
     "ProtocolError",
     "Request",
@@ -79,6 +96,7 @@ E_COMPILE = "compile-error"        # the compilation itself raised
 E_CANCELLED = "cancelled"          # cancelled by the client or a disconnect
 E_SHUTTING_DOWN = "shutting-down"  # server is draining
 E_UNSUPPORTED = "unsupported"      # unknown op / disabled verb
+E_UNAVAILABLE = "unavailable"      # cluster: no healthy node owns the shard
 
 WANT_CHOICES = ("metrics", "artifact", "ack")
 
@@ -104,6 +122,9 @@ class Request:
     id: Optional[str] = None
     spec: Optional[Dict] = None
     want: str = "metrics"
+    #: Optional multi-tenant identity on compile requests; the cluster
+    #: router quotas by it, single gateways ignore it.
+    tenant: Optional[str] = None
     raw: Dict = field(default_factory=dict)
 
 
@@ -153,6 +174,7 @@ def parse_request(line: Union[bytes, str, Dict]) -> Request:
 
     spec = None
     want = "metrics"
+    tenant = None
     if op == "compile":
         spec = payload.get("spec")
         if not isinstance(spec, dict):
@@ -167,7 +189,12 @@ def parse_request(line: Union[bytes, str, Dict]) -> Request:
                 f"unknown want {want!r}; expected one of {WANT_CHOICES}",
                 request_id,
             )
-    return Request(op=op, id=request_id, spec=spec, want=want, raw=payload)
+        tenant = payload.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise ProtocolError(
+                E_BAD_REQUEST, "'tenant' must be a string", request_id)
+    return Request(op=op, id=request_id, spec=spec, want=want,
+                   tenant=tenant, raw=payload)
 
 
 def hello_frame(server: str = "repro-gateway") -> Dict:

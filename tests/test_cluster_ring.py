@@ -1,0 +1,168 @@
+"""Property tests for the cluster's consistent-hash ring.
+
+The ring is the contract the whole fabric stands on:
+
+* **determinism** — every process that builds a ring from the same
+  member names maps every key to the same owner (the router restarts,
+  the benchmark, and a debugging human must all agree on placement);
+* **balance** — at 128 vnodes, no member owns more than ~2x the mean
+  share of a large key population;
+* **minimal remap** — removing a member moves *only* that member's
+  keys; adding one moves keys only *to* the newcomer.  This is what
+  keeps cache locality through membership churn.
+
+Hypothesis drives membership/key generation; the determinism test
+crosses a real process boundary (a fresh interpreter with its own
+``PYTHONHASHSEED``) to prove nothing leans on Python's seeded ``hash``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import HashRing
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+names = st.lists(
+    st.text(alphabet="abcdefghij-0123456789", min_size=1, max_size=12),
+    min_size=1, max_size=8, unique=True,
+)
+keys = st.lists(st.text(min_size=1, max_size=40), min_size=1, max_size=50)
+
+
+class TestBasics:
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.owner("anything") is None
+        assert ring.preference("anything") == []
+        assert len(ring) == 0
+
+    def test_membership_bookkeeping(self):
+        ring = HashRing(["b", "a"], vnodes=8)
+        assert ring.members() == ("a", "b")
+        assert "a" in ring and "c" not in ring
+        ring.add("a")                     # idempotent
+        assert len(ring) == 2
+        ring.remove("c")                  # absent: no-op
+        ring.remove("a")
+        assert ring.members() == ("b",)
+        assert ring.owner("k") == "b"
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing().add("")
+
+    def test_preference_is_owner_first_and_distinct(self):
+        ring = HashRing([f"node-{i}" for i in range(5)], vnodes=32)
+        for key in (f"key-{i}" for i in range(64)):
+            preferred = ring.preference(key)
+            assert preferred[0] == ring.owner(key)
+            assert len(preferred) == len(set(preferred)) == 5
+            assert ring.preference(key, 2) == preferred[:2]
+            assert ring.preference(key, 99) == preferred
+
+    def test_rejoin_restores_the_exact_mapping(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        sample = [f"fp-{i:04d}" for i in range(300)]
+        before = {k: ring.owner(k) for k in sample}
+        ring.remove("b")
+        ring.add("b")
+        assert {k: ring.owner(k) for k in sample} == before
+
+
+class TestProperties:
+    @given(names=names, keys=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_two_independent_rings_agree(self, names, keys):
+        """Construction order must not matter: the mapping is a pure
+        function of the member set."""
+        forward = HashRing(names, vnodes=16)
+        backward = HashRing(reversed(names), vnodes=16)
+        for key in keys:
+            assert forward.owner(key) == backward.owner(key)
+            assert forward.preference(key) == backward.preference(key)
+
+    @given(names=st.just(["node-0", "node-1", "node-2"]),
+           departing=st.sampled_from(["node-0", "node-1", "node-2"]))
+    @settings(max_examples=10, deadline=None)
+    def test_leave_moves_only_the_departed_nodes_keys(self, names, departing):
+        ring = HashRing(names, vnodes=64)
+        sample = [f"fp-{i:05d}" for i in range(600)]
+        before = {k: ring.owner(k) for k in sample}
+        ring.remove(departing)
+        for key in sample:
+            after = ring.owner(key)
+            if before[key] == departing:
+                assert after != departing
+            else:
+                assert after == before[key], \
+                    f"{key} moved {before[key]} -> {after} though " \
+                    f"{departing} departed"
+
+    def test_join_moves_keys_only_to_the_newcomer(self):
+        ring = HashRing(["node-0", "node-1", "node-2"], vnodes=64)
+        sample = [f"fp-{i:05d}" for i in range(600)]
+        before = {k: ring.owner(k) for k in sample}
+        ring.add("node-3")
+        moved = 0
+        for key in sample:
+            after = ring.owner(key)
+            if after != before[key]:
+                assert after == "node-3"
+                moved += 1
+        # The newcomer takes a real share, roughly 1/4 of the keys.
+        assert 0 < moved < len(sample) // 2
+
+    def test_balance_within_2x_of_mean_at_128_vnodes(self):
+        members = [f"node-{i}" for i in range(3)]
+        ring = HashRing(members, vnodes=128)
+        counts = {m: 0 for m in members}
+        for i in range(10_000):
+            counts[ring.owner(f"{i:02x}" + f"{i:062x}")] += 1
+        mean = sum(counts.values()) / len(counts)
+        assert max(counts.values()) <= 2.0 * mean, counts
+        assert min(counts.values()) >= 0.3 * mean, counts
+
+
+_CROSS_PROCESS_SCRIPT = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.service import HashRing
+
+members = json.loads(sys.argv[1])
+ring = HashRing(members, vnodes=32)
+keys = [f"fp-{{i:04d}}" for i in range(200)]
+print(json.dumps({{k: ring.preference(k, 2) for k in keys}}))
+"""
+
+
+class TestCrossProcessDeterminism:
+    def test_fresh_interpreters_map_identically(self):
+        """Two subprocesses with different hash seeds must produce the
+        identical key -> (owner, failover) map; the router relies on this
+        to rebuild routing after a restart without invalidating any
+        node's cache."""
+        members = ["alpha", "beta", "gamma", "delta"]
+        script = _CROSS_PROCESS_SCRIPT.format(src=SRC)
+        maps = []
+        for seed in ("0", "12345"):
+            out = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(members)],
+                env={"PYTHONHASHSEED": seed, "PATH": ""},
+                capture_output=True, text=True, timeout=120,
+            )
+            assert out.returncode == 0, out.stderr
+            maps.append(json.loads(out.stdout))
+        assert maps[0] == maps[1]
+        # And the parent (this process) agrees with both.
+        ring = HashRing(members, vnodes=32)
+        for key, preferred in maps[0].items():
+            assert ring.preference(key, 2) == preferred
