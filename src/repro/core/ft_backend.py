@@ -39,7 +39,7 @@ from ..ir import PauliProgram
 from ..pauli import PauliString
 from ..pauli.symplectic import PauliTable, popcount
 from ..static.invariants import debug_check
-from ..transpile import optimize
+from ..transpile import optimize, run_rules
 from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
 from .streaming import is_streaming_scheduler, stream_schedule
@@ -334,6 +334,7 @@ def ft_compile(
     run_peephole: bool = True,
     junction_policy: str = "paired",
     cancel: Optional[Callable[[], bool]] = None,
+    peephole_level: Optional[int] = None,
 ) -> FTResult:
     """Full FT flow: schedule, adaptively synthesize, peephole-optimize.
 
@@ -344,7 +345,10 @@ def ft_compile(
     memory and releases each block's view after its terms are flattened
     — the path for 10^5-10^6-term programs.  ``junction_policy`` is
     forwarded to :func:`ft_synthesize`; ``cancel`` is polled between
-    passes (see :mod:`repro.core.cancellation`).
+    passes (see :mod:`repro.core.cancellation`).  ``peephole_level``
+    (``None`` = full fixpoint) restricts the cleanup to the level's rule
+    subset — the speculative fast tier compiles at level 1
+    (cancel+merge, no commute/fuse search).
     """
     streaming = is_streaming_scheduler(scheduler)
     if streaming:
@@ -364,6 +368,20 @@ def ft_compile(
     check_cancel(cancel, "after synthesis")
     debug_check("ft: synthesize", tape=circuit.tape)
     if run_peephole:
-        circuit = optimize(circuit)
+        circuit = _peephole(circuit, peephole_level)
         debug_check("ft: peephole", tape=circuit.tape)
     return FTResult(circuit, terms)
+
+
+def _peephole(
+    circuit: QuantumCircuit, level: Optional[int]
+) -> QuantumCircuit:
+    """Full fixpoint at ``level=None``/``>=3``, else the level's subset."""
+    if level is None or level >= 3:
+        return optimize(circuit)
+    if level <= 0:
+        return circuit
+    out, _ = run_rules(
+        circuit, cancel=True, merge=True, commute=level >= 2, fuse=False
+    )
+    return out

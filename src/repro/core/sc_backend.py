@@ -40,7 +40,14 @@ from ..circuit import Gate, QuantumCircuit
 from ..ir import PauliBlock, PauliProgram
 from ..pauli import PauliString
 from ..static.invariants import debug_check
-from ..transpile import CouplingMap, Layout, dense_initial_layout, optimize, validate_routed
+from ..transpile import (
+    CouplingMap,
+    Layout,
+    dense_initial_layout,
+    optimize,
+    run_rules,
+    validate_routed,
+)
 from .cancellation import check_cancel
 from .scheduling import Schedule, do_schedule, gco_schedule
 from .streaming import is_streaming_scheduler, stream_schedule
@@ -493,6 +500,7 @@ def sc_compile(
     restarts: int = 1,
     seed: int = 7,
     cancel: Optional[Callable[[], bool]] = None,
+    peephole_level: Optional[int] = None,
 ) -> SCResult:
     """Full SC flow: schedule, tree-embedded synthesis, peephole cleanup.
 
@@ -504,7 +512,9 @@ def sc_compile(
     attempt is always the un-jittered layout).  The returned circuit acts on
     physical qubits and respects the coupling map (validated on return).
     ``cancel`` is polled after scheduling and between restart attempts
-    (see :mod:`repro.core.cancellation`).
+    (see :mod:`repro.core.cancellation`).  ``peephole_level`` (``None``
+    = full fixpoint) restricts the cleanup to the level's rule subset —
+    the speculative fast tier compiles at level 1.
     """
     streaming = is_streaming_scheduler(scheduler)
     if streaming:
@@ -537,8 +547,17 @@ def sc_compile(
         )
         result = synthesizer.run(schedule, program.num_qubits)
         if run_peephole:
+            if peephole_level is None or peephole_level >= 3:
+                cleaned = optimize(result.circuit)
+            elif peephole_level <= 0:
+                cleaned = result.circuit
+            else:
+                cleaned, _ = run_rules(
+                    result.circuit, cancel=True, merge=True,
+                    commute=peephole_level >= 2, fuse=False,
+                )
             result = SCResult(
-                optimize(result.circuit),
+                cleaned,
                 result.initial_layout,
                 result.final_layout,
                 result.emitted_terms,

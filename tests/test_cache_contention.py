@@ -154,6 +154,48 @@ class TestThreadContention:
         assert cache.sweep_stale_tmp(max_age_seconds=0.0) == 1
         assert not fresh.exists() and live_pid.exists()
 
+    def test_racing_adopts_count_exactly_one_put(self, tmp_path):
+        """Regression: ``adopt`` used an ``exists()``-then-write probe, so
+        two adopters racing through that window both wrote the key and
+        both counted a ``put``.  Routed through the exclusive-link
+        publish, N racers perform one disk write and count exactly one
+        ``put`` between them — even across separate cache fronts sharing
+        the root, where no in-process lock can help."""
+        fronts = [CompileCache(tmp_path) for _ in range(4)]
+        key = key_for(3)
+        racers = 8
+        barrier = threading.Barrier(racers)
+
+        def adopter(n: int):
+            barrier.wait()
+            fronts[n % len(fronts)].adopt(key, value_for(key))
+
+        pool = [threading.Thread(target=adopter, args=(n,))
+                for n in range(racers)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert sum(front.stats.puts for front in fronts) == 1
+        # Every front promoted the key regardless of who won the write.
+        for front in fronts:
+            assert front.get(key) == value_for(key)
+            assert front.stats.puts + front.stats.hits >= 1
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_adopt_of_existing_key_counts_nothing(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key = key_for(4)
+        cache.put(key, value_for(key))
+        assert cache.stats.puts == 1
+        cache.adopt(key, value_for(key))
+        assert cache.stats.puts == 1          # existing bytes, no new put
+        # Memory-only mode: same exactness without a disk tier.
+        mem = CompileCache()
+        mem.adopt(key, value_for(key))
+        mem.adopt(key, value_for(key))
+        assert mem.stats.puts == 1
+
     def test_stats_absorb_is_atomic_across_threads(self):
         """Concurrent absorb() calls must not lose increments."""
         total = CacheStats()

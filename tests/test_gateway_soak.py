@@ -10,7 +10,9 @@ unix socket) takes:
   traffic, disconnect, reconnect);
 * rude clients that send garbage frames or slam the connection shut with
   requests still in flight;
-* an injector that SIGKILLs a random pool worker every few seconds.
+* an injector that SIGKILLs a random pool worker every few seconds —
+  with speculation on, kills land during background opt-3 upgrades too,
+  so the speculative ledger is audited under worker death.
 
 Afterwards the gateway must still be coherent: queue drained, no leaked
 in-flight work, a stats ledger that reconciles (every received request
@@ -117,6 +119,26 @@ def _one_session(socket_path: str, thread_id: int, base: int,
                         if i % 2 == 0 else cold_spec(thread_id, base + i))
                 responses.append(await client.compile(
                     spec, f"s{thread_id}-{base + i}", timeout=120))
+            # Speculative-lane churn: subscribe to the background
+            # upgrade, then either cancel the subscription (withdrawing
+            # the job when we were its only interest), briefly wait for
+            # the push, or just hang up — the disconnect below must
+            # withdraw it.  All three paths land in the spec ledger.
+            upgrade_id = f"up{thread_id}-{base}"
+            answered = await client.compile(
+                cold_spec(thread_id, base + 7), upgrade_id,
+                timeout=120, want_upgrade=True)
+            responses.append(answered)
+            if answered.get("ok"):
+                mode = (thread_id + base) % 3
+                if mode == 0:
+                    responses.append(await client.cancel(upgrade_id))
+                elif mode == 1:
+                    try:
+                        await client.wait_upgrade(upgrade_id, timeout=3)
+                    except (TimeoutError, asyncio.TimeoutError):
+                        pass   # starved by cold churn: fine, priority works
+                # mode 2: disconnect with the subscription live.
             responses.append(await client.ping())
             stats = await client.stats()
             assert stats["queue"]["depth"] <= stats["queue"]["limit"]
@@ -158,7 +180,8 @@ def test_gateway_soak(tmp_path):
     server = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "--socket", socket_path, "--cache", str(cache_dir),
-         "--workers", "2", "--queue-limit", "32"],
+         "--workers", "2", "--queue-limit", "32",
+         "--speculate", "--speculative-limit", "8"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
     )
     try:
@@ -204,6 +227,15 @@ def test_gateway_soak(tmp_path):
                 {"text": "{(XYXYX, 1.0), 0.5};", "label": "post-soak"},
                 "post", timeout=120)
             assert post["ok"]
+            # Let the background lane settle (the post-soak cold above
+            # speculated too) before freezing the ledger.
+            settle_deadline = time.monotonic() + 120
+            while time.monotonic() < settle_deadline:
+                stats = await client.stats()
+                spec = stats["speculative"]
+                if spec["queued"] == 0 and spec["in_flight"] == 0:
+                    break
+                await asyncio.sleep(0.25)
             final = await client.stats()
             await client.close()
             return final
@@ -220,6 +252,16 @@ def test_gateway_soak(tmp_path):
                     + req["cancelled"] + req["rejected"] + req["bad_specs"])
         assert req["received"] == outcomes, req
         assert req["failed"] == 0, req
+
+        # The speculative ledger reconciles through cancels, disconnects,
+        # preemption, and workers SIGKILLed mid-upgrade: every enqueued
+        # background job reached exactly one terminal outcome.
+        spec = final["speculative"]
+        spec_outcomes = (spec["spec_upgraded"] + spec["spec_stale"]
+                         + spec["spec_cancelled"] + spec["spec_dropped"])
+        assert spec["spec_enqueued"] == spec_outcomes, spec
+        assert spec["spec_enqueued"] > 0, spec
+        assert spec["queued"] == 0 and spec["in_flight"] == 0, spec
         # Every response a client actually received was really served.
         assert ledger.ok + ledger.errors <= req["received"] \
             + req["bad_requests"] + 10_000  # pings/stats excluded loosely

@@ -10,6 +10,7 @@ round-trip suite so both codecs face the same zoo.
 
 import json
 import math
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -133,6 +134,127 @@ class TestResultArtifacts:
         circ = circuit_to_dict(QuantumCircuit(1).h(0))
         with pytest.raises(ValueError, match="circuit"):
             result_from_dict({**circ, "kind": "circuit"})
+
+
+class TestCrossVersionDecode:
+    """The decode floor is OLDEST_SUPPORTED_VERSION, not the current
+    version.
+
+    Regression: ``_check_version`` defaulted ``oldest`` to
+    ``ARTIFACT_VERSION``, so every decode path that did not pass an
+    explicit floor silently rejected still-supported older payloads the
+    moment the version was bumped — a cache full of v2 artifacts read as
+    all-miss after upgrading to a v3 build.
+    """
+
+    @staticmethod
+    def _payload_at_version(version):
+        """A faithful payload of the given era: v1 predates ``device``,
+        v2 predates ``tier``/``pipeline``."""
+        program = parse_program("{(XYZ, 0.5), (ZZI, -0.25), 0.7};")
+        payload = result_to_dict(compile_program(program, backend="ft"))
+        if version < 3:
+            payload.pop("tier", None)
+            payload.pop("pipeline", None)
+        if version < 2:
+            payload.pop("device", None)
+        payload["version"] = version
+        payload["circuit"] = {**payload["circuit"], "version": version}
+        return payload
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_supported_versions_all_decode(self, version):
+        back = result_from_dict(self._payload_at_version(version))
+        reference = compile_program(
+            parse_program("{(XYZ, 0.5), (ZZI, -0.25), 0.7};"), backend="ft"
+        )
+        assert_tapes_identical(back.circuit, reference.circuit)
+        assert back.backend == "ft"
+        # Era defaults: fields an old payload lacks come back as the
+        # values a current writer would have used.
+        if version < 3:
+            assert back.tier == "full" and back.pipeline is None
+        if version < 2:
+            assert back.device is None
+
+    @pytest.mark.parametrize("version", [0, 4, None, "2"])
+    def test_out_of_range_versions_still_reject(self, version):
+        payload = self._payload_at_version(2)
+        payload["version"] = version
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+
+    def test_true_floor_is_the_default(self):
+        from repro.service import ARTIFACT_VERSION, OLDEST_SUPPORTED_VERSION
+
+        assert OLDEST_SUPPORTED_VERSION == 1 < ARTIFACT_VERSION
+        # The loads path inherits the floor: a v1 text decodes.
+        text = json.dumps(self._payload_at_version(1))
+        assert loads_artifact(text).tier == "full"
+
+    def test_v3_tier_survives_the_text_roundtrip(self):
+        from repro.service import TIER_FAST
+
+        program = parse_program("{(XY, 1.0), 0.5};")
+        result = compile_program(program, backend="ft", peephole_level=1)
+        assert result.tier == TIER_FAST
+        back = loads_artifact(dumps_artifact(result))
+        assert back.tier == TIER_FAST
+        assert back.pipeline == result.pipeline
+
+
+_ARTIFACT_CORPUS = (
+    Path(__file__).parent / "corpora" / "artifact_versions.jsonl"
+)
+
+
+def _artifact_corpus_cases():
+    cases = []
+    for line in _ARTIFACT_CORPUS.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            cases.append(json.loads(line))
+    return cases
+
+
+class TestCommittedArtifactCorpus:
+    """Frozen artifacts from every codec era must keep decoding.
+
+    The corpus is the on-disk counterpart of the cross-version matrix
+    above: real serialized documents written by v1/v2/v3 builds
+    (including reduced-tier speculative v3 artifacts), committed so a
+    future version bump that breaks the decode floor fails against
+    bytes that actually shipped, not against synthetic payloads.
+    """
+
+    @pytest.mark.parametrize(
+        "case", _artifact_corpus_cases(), ids=lambda case: case["id"],
+    )
+    def test_every_committed_era_decodes(self, case):
+        result = result_from_dict(case["artifact"])
+        assert result.tier == case["expect_tier"]
+        assert result.circuit.num_qubits == case["artifact"]["circuit"]["num_qubits"]
+        assert list(result.circuit.gates)   # tape reconstructed, non-empty
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in _artifact_corpus_cases() if c["artifact"]["version"] == 3],
+        ids=lambda case: case["id"],
+    )
+    def test_current_era_reserializes_byte_identically(self, case):
+        text = json.dumps(case["artifact"], sort_keys=True,
+                          separators=(",", ":"))
+        assert dumps_artifact(loads_artifact(text)) == text
+
+    def test_corpus_spans_the_supported_range(self):
+        from repro.service import ARTIFACT_VERSION, OLDEST_SUPPORTED_VERSION
+
+        versions = {c["artifact"]["version"] for c in _artifact_corpus_cases()}
+        assert versions == set(
+            range(OLDEST_SUPPORTED_VERSION, ARTIFACT_VERSION + 1)
+        )
+        tiers = {c["expect_tier"] for c in _artifact_corpus_cases()}
+        assert "full" in tiers and {"opt1", "opt2"} <= tiers
 
 
 class TestProgramArtifacts:
